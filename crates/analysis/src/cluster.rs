@@ -1,0 +1,306 @@
+//! Agglomerative hierarchical clustering, single-linkage criterion.
+//!
+//! "The clustering algorithm finds the smallest Euclidean distance of a
+//! pair of feature vectors and forms a cluster containing that pair. […]
+//! The single-linkage we selected uses the minimum distance between a pair
+//! of objects in different clusters to determine the distance between
+//! them." (§3.5). The output mirrors scipy's linkage matrix so Figure 5's
+//! dendrogram can be regenerated row for row.
+
+use crate::features::euclidean;
+use serde::{Deserialize, Serialize};
+
+/// One agglomeration step: clusters `a` and `b` merge at `distance` into a
+/// new cluster whose id is `n + step` (scipy convention: leaves are
+/// `0..n`, the i-th merge creates id `n + i`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happens.
+    pub distance: f64,
+    /// Number of leaves under the new cluster.
+    pub size: usize,
+}
+
+/// A full dendrogram: `n - 1` merges over `n` leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    /// Number of leaves clustered.
+    pub leaves: usize,
+    /// Merges in non-decreasing distance order.
+    pub merges: Vec<Merge>,
+}
+
+/// Runs single-linkage clustering over row vectors.
+///
+/// # Panics
+/// Panics if `data` is empty or ragged.
+pub fn single_linkage(data: &[Vec<f64>]) -> Dendrogram {
+    let n = data.len();
+    assert!(n > 0, "cannot cluster an empty set");
+    let dims = data[0].len();
+    for row in data {
+        assert_eq!(row.len(), dims, "ragged data matrix");
+    }
+
+    // active[i] = Some(cluster id) for each live cluster slot; dist holds
+    // current pairwise single-linkage distances between live slots.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(&data[i], &data[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest live pair.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if alive[j] && dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        assert!(i != usize::MAX, "no live pair found");
+        // Merge j into i: single linkage takes the minimum distance.
+        let new_size = sizes[i] + sizes[j];
+        merges.push(Merge { a: ids[i], b: ids[j], distance: d, size: new_size });
+        for k in 0..n {
+            if alive[k] && k != i && k != j {
+                let m = dist[i][k].min(dist[j][k]);
+                dist[i][k] = m;
+                dist[k][i] = m;
+            }
+        }
+        alive[j] = false;
+        sizes[i] = new_size;
+        ids[i] = n + step;
+    }
+    Dendrogram { leaves: n, merges }
+}
+
+/// Cuts the dendrogram at `threshold`: leaves joined by merges with
+/// distance `< threshold` share a cluster. Returns a cluster index per
+/// leaf, numbered 0.. in order of first appearance.
+///
+/// The paper cuts Figure 5 at a linkage distance of 0.9 to obtain its
+/// clusters.
+pub fn cut_dendrogram(dendro: &Dendrogram, threshold: f64) -> Vec<usize> {
+    let n = dendro.leaves;
+    // Union-find over leaf + internal ids.
+    let total = n + dendro.merges.len();
+    let mut parent: Vec<usize> = (0..total).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (step, m) in dendro.merges.iter().enumerate() {
+        let new_id = n + step;
+        if m.distance < threshold {
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        } else {
+            // The internal node still exists but does not join its
+            // children; nothing to do.
+        }
+    }
+    let mut label_of_root = std::collections::HashMap::new();
+    let mut labels = Vec::with_capacity(n);
+    for leaf in 0..n {
+        let root = find(&mut parent, leaf);
+        let next = label_of_root.len();
+        let l = *label_of_root.entry(root).or_insert(next);
+        labels.push(l);
+    }
+    labels
+}
+
+/// Finds a cut threshold yielding (as close as possible to) `target`
+/// clusters and returns `(threshold, labels)`.
+///
+/// The paper cuts its dendrogram at a linkage distance of 0.9, which on
+/// its data produces seven clusters (six analyzed plus the `fluidanimate`
+/// singleton). Feature scales differ between datasets, so this helper
+/// derives the analogous threshold from the merge distances instead of
+/// hard-coding the paper's constant.
+///
+/// # Panics
+/// Panics if `target` is zero or exceeds the leaf count.
+pub fn cut_for_cluster_count(dendro: &Dendrogram, target: usize) -> (f64, Vec<usize>) {
+    let n = dendro.leaves;
+    assert!(target >= 1 && target <= n, "target {target} out of range for {n} leaves");
+    // Applying the first m merges leaves n - m clusters; we want
+    // m = n - target, i.e. a threshold just above that merge's distance.
+    let m = n - target;
+    let threshold = if m == 0 {
+        0.0
+    } else if m >= dendro.merges.len() {
+        f64::INFINITY
+    } else {
+        // Strictly between merge m-1 and merge m (single linkage is
+        // monotone). Ties collapse extra merges; that's inherent.
+        let lo = dendro.merges[m - 1].distance;
+        let hi = dendro.merges[m].distance;
+        if hi > lo {
+            (lo + hi) / 2.0
+        } else {
+            hi + f64::EPSILON
+        }
+    };
+    (threshold, cut_dendrogram(dendro, threshold))
+}
+
+/// Index of the member closest to the centroid of `members` (indices into
+/// `data`) — the paper's bold "cluster representative" rule (Table 3).
+///
+/// # Panics
+/// Panics if `members` is empty.
+pub fn centroid_representative(data: &[Vec<f64>], members: &[usize]) -> usize {
+    assert!(!members.is_empty(), "empty cluster");
+    let dims = data[members[0]].len();
+    let mut centroid = vec![0.0; dims];
+    for &m in members {
+        for (d, &x) in data[m].iter().enumerate() {
+            centroid[d] += x;
+        }
+    }
+    for c in &mut centroid {
+        *c /= members.len() as f64;
+    }
+    *members
+        .iter()
+        .min_by(|&&a, &&b| {
+            euclidean(&data[a], &centroid)
+                .partial_cmp(&euclidean(&data[b], &centroid))
+                .expect("finite distances")
+        })
+        .expect("non-empty cluster")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![5.0, 5.1],
+        ]
+    }
+
+    #[test]
+    fn merge_count_is_n_minus_one() {
+        let d = single_linkage(&two_blobs());
+        assert_eq!(d.leaves, 6);
+        assert_eq!(d.merges.len(), 5);
+    }
+
+    #[test]
+    fn merge_distances_nondecreasing_for_single_linkage() {
+        // Single linkage is monotone: each merge distance is >= the last.
+        let d = single_linkage(&two_blobs());
+        for w in d.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cut_separates_blobs() {
+        let data = two_blobs();
+        let d = single_linkage(&data);
+        let labels = cut_dendrogram(&d, 1.0);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn cut_at_zero_gives_singletons() {
+        let data = two_blobs();
+        let d = single_linkage(&data);
+        let labels = cut_dendrogram(&d, 1e-12);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn cut_above_max_gives_one_cluster() {
+        let data = two_blobs();
+        let d = single_linkage(&data);
+        let max_d = d.merges.last().unwrap().distance;
+        let labels = cut_dendrogram(&d, max_d + 1.0);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn chaining_behaviour_of_single_linkage() {
+        // A chain of equidistant points merges into ONE cluster under
+        // single linkage even though its ends are far apart — the
+        // defining property of the criterion.
+        let chain: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
+        let d = single_linkage(&chain);
+        let labels = cut_dendrogram(&d, 0.6);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn cut_for_count_hits_target() {
+        // Distinct pairwise gaps: with tied merge distances the cut
+        // legitimately collapses whole tie groups at once.
+        let data: Vec<Vec<f64>> =
+            [0.0, 0.1, 0.3, 5.0, 5.2, 5.6].iter().map(|&x| vec![x]).collect();
+        let d = single_linkage(&data);
+        for target in 1..=6 {
+            let (_, labels) = cut_for_cluster_count(&d, target);
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            assert_eq!(distinct.len(), target, "target {target}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cut_for_count_rejects_zero() {
+        let d = single_linkage(&two_blobs());
+        let _ = cut_for_cluster_count(&d, 0);
+    }
+
+    #[test]
+    fn representative_is_nearest_centroid() {
+        let data = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let rep = centroid_representative(&data, &[0, 1, 2]);
+        assert_eq!(rep, 1); // centroid = 1.0
+    }
+
+    #[test]
+    fn singleton_cluster() {
+        let d = single_linkage(&[vec![1.0, 2.0]]);
+        assert_eq!(d.leaves, 1);
+        assert!(d.merges.is_empty());
+        assert_eq!(cut_dendrogram(&d, 0.5), vec![0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-application feature vectors (§3.5).
+//!
+//! "We create a feature vector of 19 values for each application […]:
+//! 1) execution time as we increase the number of threads (7 features);
+//! 2) execution time as we increase the LLC size (10 features);
+//! 3) prefetcher sensitivity (1 feature); and 4) bandwidth sensitivity
+//! (1 feature). All metrics are normalized to the interval [0, 1]."
+
+use serde::{Deserialize, Serialize};
+
+/// Number of thread-scaling features (runs with 2..=8 threads relative
+/// to 1).
+pub const THREAD_FEATURES: usize = 7;
+/// Number of LLC-capacity features (10 allocations).
+pub const LLC_FEATURES: usize = 10;
+/// Total feature count.
+pub const TOTAL_FEATURES: usize = THREAD_FEATURES + LLC_FEATURES + 2;
+
+/// One application's raw 19-value feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Application name.
+    pub name: String,
+    /// The 19 feature values (thread scaling, LLC scaling, prefetcher
+    /// sensitivity, bandwidth sensitivity — in that order).
+    pub values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Assembles a vector from its measured components.
+    ///
+    /// # Panics
+    /// Panics if the component slices have the wrong lengths.
+    pub fn new(
+        name: impl Into<String>,
+        thread_scaling: &[f64],
+        llc_scaling: &[f64],
+        prefetch_sensitivity: f64,
+        bandwidth_sensitivity: f64,
+    ) -> Self {
+        assert_eq!(thread_scaling.len(), THREAD_FEATURES, "need {THREAD_FEATURES} thread features");
+        assert_eq!(llc_scaling.len(), LLC_FEATURES, "need {LLC_FEATURES} LLC features");
+        let mut values = Vec::with_capacity(TOTAL_FEATURES);
+        values.extend_from_slice(thread_scaling);
+        values.extend_from_slice(llc_scaling);
+        values.push(prefetch_sensitivity);
+        values.push(bandwidth_sensitivity);
+        FeatureVector { name: name.into(), values }
+    }
+}
+
+/// Min-max normalizes each feature dimension to `[0, 1]` across the set
+/// (constant dimensions map to 0). Returns the normalized matrix in the
+/// same order.
+pub fn normalize(vectors: &[FeatureVector]) -> Vec<Vec<f64>> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let dims = vectors[0].values.len();
+    for v in vectors {
+        assert_eq!(v.values.len(), dims, "ragged feature matrix");
+    }
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for v in vectors {
+        for (d, &x) in v.values.iter().enumerate() {
+            lo[d] = lo[d].min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+    vectors
+        .iter()
+        .map(|v| {
+            v.values
+                .iter()
+                .enumerate()
+                .map(|(d, &x)| {
+                    let range = hi[d] - lo[d];
+                    if range > 1e-12 {
+                        (x - lo[d]) / range
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(name: &str, fill: f64) -> FeatureVector {
+        FeatureVector::new(name, &[fill; 7], &[fill; 10], fill, fill)
+    }
+
+    #[test]
+    fn vector_has_19_features() {
+        assert_eq!(fv("a", 0.5).values.len(), 19);
+        assert_eq!(TOTAL_FEATURES, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread features")]
+    fn wrong_component_length_rejected() {
+        let _ = FeatureVector::new("a", &[0.0; 6], &[0.0; 10], 0.0, 0.0);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let vs = vec![fv("a", 2.0), fv("b", 4.0), fv("c", 10.0)];
+        let n = normalize(&vs);
+        for row in &n {
+            for &x in row {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+        assert!(n[0].iter().all(|&x| x == 0.0));
+        assert!(n[2].iter().all(|&x| x == 1.0));
+        assert!((n[1][0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_dimension_normalizes_to_zero() {
+        let vs = vec![fv("a", 3.0), fv("b", 3.0)];
+        let n = normalize(&vs);
+        assert!(n.iter().flatten().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn euclidean_distance() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+}

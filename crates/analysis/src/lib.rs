@@ -1,0 +1,25 @@
+//! # waypart-analysis
+//!
+//! The analytical toolbox of the paper's §3.5 and §5:
+//!
+//! * [`features`] — per-application feature vectors (19 values: 7 thread-
+//!   scaling points, 10 LLC-capacity points, prefetcher sensitivity,
+//!   bandwidth sensitivity), min-max normalized per dimension;
+//! * [`cluster`] — agglomerative hierarchical clustering with the
+//!   single-linkage criterion (the scipy-cluster configuration the paper
+//!   uses), plus dendrogram cutting and centroid representatives;
+//! * [`metrics`] — consolidation metrics: foreground slowdown, weighted
+//!   speedup vs. sequential execution, energy improvement, and summary
+//!   statistics;
+//! * [`tables`] — classification of measured curves into the Low /
+//!   Saturated / High classes of Tables 1 and 2.
+
+pub mod cluster;
+pub mod features;
+pub mod metrics;
+pub mod tables;
+
+pub use cluster::{cut_dendrogram, single_linkage, Dendrogram, Merge};
+pub use features::FeatureVector;
+pub use metrics::{energy_improvement, slowdown, weighted_speedup, SummaryStats};
+pub use tables::ThreeClass;

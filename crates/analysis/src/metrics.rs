@@ -1,0 +1,122 @@
+//! Consolidation metrics (§5).
+
+use serde::{Deserialize, Serialize};
+
+/// Foreground slowdown: co-scheduled time over solo time (1.0 = no
+/// degradation; the paper reports e.g. "34.5% worst-case" = 1.345).
+///
+/// # Panics
+/// Panics if `solo` is zero.
+pub fn slowdown(pair: u64, solo: u64) -> f64 {
+    assert!(solo > 0, "solo time must be positive");
+    pair as f64 / solo as f64
+}
+
+/// Weighted speedup of consolidation (Fig 11): time to run both
+/// applications back-to-back on the whole machine, over the time to run
+/// them concurrently on half a machine each.
+///
+/// # Panics
+/// Panics if `concurrent` is zero.
+pub fn weighted_speedup(solo_a: u64, solo_b: u64, concurrent: u64) -> f64 {
+    assert!(concurrent > 0, "concurrent time must be positive");
+    (solo_a + solo_b) as f64 / concurrent as f64
+}
+
+/// Relative energy of consolidation (Fig 10): energy of the concurrent
+/// run over the summed energies of sequential runs (< 1.0 is an
+/// improvement; the paper measures 0.88 on average for biased).
+///
+/// # Panics
+/// Panics if the sequential energy is not positive.
+pub fn energy_improvement(concurrent_j: f64, sequential_j: f64) -> f64 {
+    assert!(sequential_j > 0.0, "sequential energy must be positive");
+    concurrent_j / sequential_j
+}
+
+/// Mean / worst / best over a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum (worst case for slowdowns).
+    pub max: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Summarizes a non-empty iterator of values.
+    ///
+    /// # Panics
+    /// Panics if the iterator is empty or yields non-finite values.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut max = f64::NEG_INFINITY;
+        let mut min = f64::INFINITY;
+        for v in values {
+            assert!(v.is_finite(), "non-finite sample");
+            count += 1;
+            sum += v;
+            max = max.max(v);
+            min = min.min(v);
+        }
+        assert!(count > 0, "cannot summarize an empty set");
+        SummaryStats { mean: sum / count as f64, max, min, count }
+    }
+}
+
+impl std::fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mean {:.3}, worst {:.3}, best {:.3} (n={})", self.mean, self.max, self.min, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_ratio() {
+        assert!((slowdown(134, 100) - 1.34).abs() < 1e-12);
+        assert_eq!(slowdown(100, 100), 1.0);
+    }
+
+    #[test]
+    fn weighted_speedup_of_perfect_overlap() {
+        // Two equal apps overlap perfectly: 2x speedup.
+        assert!((weighted_speedup(100, 100, 100) - 2.0).abs() < 1e-12);
+        // No benefit: concurrent as long as sequential.
+        assert!((weighted_speedup(100, 100, 200) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_ratio() {
+        assert!((energy_improvement(88.0, 100.0) - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = SummaryStats::from_values([1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert!(format!("{s}").contains("mean 2.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_rejected() {
+        let _ = SummaryStats::from_values(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "solo time")]
+    fn zero_solo_rejected() {
+        let _ = slowdown(10, 0);
+    }
+}

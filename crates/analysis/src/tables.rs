@@ -1,0 +1,134 @@
+//! Curve classification for Tables 1 and 2.
+//!
+//! Table 1 sorts applications by thread scalability (low / saturated /
+//! high); Table 2 by LLC-capacity utility (low / saturated / high,
+//! ignoring the pathological 0.5 MB direct-mapped point). These
+//! classifiers turn measured curves into those classes so the experiment
+//! harness can compare against the paper's assignments.
+
+use serde::{Deserialize, Serialize};
+
+/// The three-way classification both tables use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreeClass {
+    /// Flat response.
+    Low,
+    /// Improves up to a saturation point.
+    Saturated,
+    /// Keeps improving across the whole range.
+    High,
+}
+
+impl std::fmt::Display for ThreeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ThreeClass::Low => "low",
+            ThreeClass::Saturated => "saturated",
+            ThreeClass::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a thread-scalability curve: `speedups[i]` is the speedup
+/// with `i + 1` threads (so `speedups[0] == 1.0`).
+///
+/// * peak speedup below 1.6× → `Low` (Table 1's "low scalability");
+/// * speedup still growing meaningfully at the top thread count → `High`;
+/// * otherwise → `Saturated`.
+///
+/// # Panics
+/// Panics if fewer than two points are given.
+pub fn classify_scalability(speedups: &[f64]) -> ThreeClass {
+    assert!(speedups.len() >= 2, "need at least two points");
+    let peak = speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if peak < 1.6 {
+        return ThreeClass::Low;
+    }
+    // "Still growing": the last step adds at least 5% of the peak.
+    let n = speedups.len();
+    let last_gain = speedups[n - 1] - speedups[n - 2];
+    if last_gain > 0.05 * peak && speedups[n - 1] >= peak - 1e-9 {
+        ThreeClass::High
+    } else {
+        ThreeClass::Saturated
+    }
+}
+
+/// Classifies an LLC-capacity curve: `times[i]` is the execution time with
+/// allocation `i` (smallest to largest, pathological smallest point
+/// already excluded).
+///
+/// * total improvement below 5% → `Low` utility;
+/// * still improving by >1.8% over the last quarter of the range → `High`
+///   (above the residual slope an inclusive LLC shows for *any* workload
+///   via inclusion-victim refreshes);
+/// * otherwise → `Saturated`.
+///
+/// # Panics
+/// Panics if fewer than four points are given or any time is zero.
+pub fn classify_llc_utility(times: &[f64]) -> ThreeClass {
+    assert!(times.len() >= 4, "need at least four allocations");
+    assert!(times.iter().all(|&t| t > 0.0), "times must be positive");
+    let first = times[0];
+    let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let total_gain = (first - best) / first;
+    if total_gain < 0.05 {
+        return ThreeClass::Low;
+    }
+    let tail_start = times.len() - times.len() / 4 - 1;
+    let tail_gain = (times[tail_start] - times[times.len() - 1]) / times[tail_start];
+    if tail_gain > 0.018 {
+        ThreeClass::High
+    } else {
+        ThreeClass::Saturated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_speedup_is_low() {
+        assert_eq!(classify_scalability(&[1.0, 1.1, 1.2, 1.25, 1.3, 1.3, 1.3, 1.3]), ThreeClass::Low);
+    }
+
+    #[test]
+    fn linear_speedup_is_high() {
+        let s: Vec<f64> = (1..=8).map(|t| 0.7 * t as f64 + 0.3).collect();
+        assert_eq!(classify_scalability(&s), ThreeClass::High);
+    }
+
+    #[test]
+    fn plateau_speedup_is_saturated() {
+        assert_eq!(
+            classify_scalability(&[1.0, 1.8, 2.5, 3.0, 3.1, 3.1, 3.1, 3.1]),
+            ThreeClass::Saturated
+        );
+    }
+
+    #[test]
+    fn flat_llc_curve_is_low() {
+        assert_eq!(classify_llc_utility(&[100.0; 10]), ThreeClass::Low);
+    }
+
+    #[test]
+    fn always_improving_llc_curve_is_high() {
+        let t: Vec<f64> = (0..10).map(|i| 200.0 - 12.0 * i as f64).collect();
+        assert_eq!(classify_llc_utility(&t), ThreeClass::High);
+    }
+
+    #[test]
+    fn saturating_llc_curve_is_saturated() {
+        let t = [200.0, 160.0, 130.0, 110.0, 100.0, 100.0, 100.0, 100.0, 100.0, 100.0];
+        assert_eq!(classify_llc_utility(&t), ThreeClass::Saturated);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ThreeClass::Low.to_string(), "low");
+        assert_eq!(ThreeClass::Saturated.to_string(), "saturated");
+        assert_eq!(ThreeClass::High.to_string(), "high");
+    }
+}

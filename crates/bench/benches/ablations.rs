@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out.
+//!
+//! These are *comparative* benches: each group holds the workload fixed
+//! and swaps one mechanism, so the Criterion report shows the cost/benefit
+//! of the design decision directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use waypart_bench::bench_runner;
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::phase::PhaseThresholds;
+use waypart_core::runner::{Runner, RunnerConfig};
+use waypart_sim::addr::IndexHash;
+use waypart_sim::cache::ReplPolicy;
+use waypart_sim::msr::PrefetcherMask;
+use waypart_workloads::registry;
+
+/// Ablation 2 — hashed vs modulo LLC indexing (the paper credits hashing
+/// for the absence of sharp working-set knees, §3.2).
+fn indexing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_llc_indexing");
+    g.sample_size(10);
+    let omnetpp = registry::by_name("471.omnetpp").unwrap();
+    for (label, index) in [("hashed", IndexHash::Hashed), ("modulo", IndexHash::Modulo)] {
+        let mut cfg = RunnerConfig::test();
+        cfg.machine.llc.index = index;
+        let runner = Runner::new(cfg);
+        g.bench_function(label, |b| b.iter(|| black_box(runner.run_solo(&omnetpp, 1, 8).cycles)));
+    }
+    g.finish();
+}
+
+/// Ablation 2b — pseudo-LRU vs true LRU replacement.
+fn replacement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_llc_replacement");
+    g.sample_size(10);
+    let mcf = registry::by_name("429.mcf").unwrap();
+    for (label, repl) in [
+        ("pseudo_lru", ReplPolicy::PseudoLru),
+        ("true_lru", ReplPolicy::TrueLru),
+        ("srrip", ReplPolicy::Srrip),
+    ] {
+        let mut cfg = RunnerConfig::test();
+        cfg.machine.llc.replacement = repl;
+        let runner = Runner::new(cfg);
+        g.bench_function(label, |b| b.iter(|| black_box(runner.run_solo(&mcf, 1, 6).cycles)));
+    }
+    g.finish();
+}
+
+/// Ablation 1 — lazy reallocation (the hardware mechanism: masks change,
+/// data stays) vs flush-on-shrink. Measures a foreground run whose mask
+/// oscillates every 16 quanta.
+fn reallocation_flush(c: &mut Criterion) {
+    use waypart_sim::machine::Machine;
+    use waypart_sim::WayMask;
+
+    let mut g = c.benchmark_group("ablation_reallocation");
+    g.sample_size(10);
+    let app = registry::by_name("fop").unwrap();
+    let cfg = RunnerConfig::test();
+
+    for (label, flush) in [("lazy", false), ("flush_on_shrink", true)] {
+        let machine_cfg = cfg.machine.clone();
+        let scale = cfg.scale;
+        let app = app.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = Machine::new(machine_cfg.clone());
+                for t in 0..4 {
+                    m.attach(t, 1, Box::new(app.thread_stream(4, t, 1, scale, 7)));
+                }
+                let masks = [WayMask::contiguous(0, 10), WayMask::contiguous(0, 4)];
+                let mut i = 0usize;
+                while m.any_active() && i < 200_000 {
+                    if i % 16 == 0 {
+                        let mask = masks[(i / 16) % 2];
+                        for core in 0..2 {
+                            m.set_way_mask(core, mask);
+                            if flush {
+                                m.flush_llc_outside_mask(core);
+                            }
+                        }
+                    }
+                    m.run_quantum();
+                    i += 1;
+                }
+                black_box(m.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 4 — threshold sensitivity: the controller under the calibrated
+/// thresholds vs the paper's literal constants vs a loose variant. The
+/// paper found results "largely insensitive to small parameter changes";
+/// the comparison quantifies that for this reproduction.
+fn thresholds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dynamic_thresholds");
+    g.sample_size(10);
+    let runner = bench_runner();
+    let fg = registry::by_name("429.mcf").unwrap();
+    let bg = registry::by_name("fop").unwrap();
+    let variants: [(&str, PhaseThresholds); 3] = [
+        ("calibrated", PhaseThresholds::calibrated()),
+        ("paper_literal", PhaseThresholds::paper_literal()),
+        ("loose", PhaseThresholds { thr1: 0.5, thr2: 0.2, thr3: 0.1, mpki_floor: 0.5 }),
+    ];
+    for (label, thresholds) in variants {
+        let mut dc = DynamicConfig::paper();
+        dc.thresholds = thresholds;
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(runner.run_pair_dynamic(&fg, &bg, dc).bg_instructions))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 5 — prefetchers on vs off for a streaming workload (Fig 3's
+/// mechanism, measured as simulator work).
+fn prefetchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prefetchers");
+    g.sample_size(10);
+    let runner = bench_runner();
+    let app = registry::by_name("462.libquantum").unwrap();
+    for (label, mask) in
+        [("all_on", PrefetcherMask::all_enabled()), ("all_off", PrefetcherMask::all_disabled())]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(runner.run_solo_configured(&app, 1, 12, mask).cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, indexing, replacement, reallocation_flush, thresholds, prefetchers);
+criterion_main!(benches);

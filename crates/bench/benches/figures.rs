@@ -1,0 +1,113 @@
+//! One representative kernel per paper table/figure.
+//!
+//! Each bench runs the measurement that one cell/point/trace of the
+//! corresponding figure needs; the `reproduce` binary composes thousands
+//! of these into the full artifacts. Bench names carry the figure ids so
+//! `cargo bench fig9` exercises exactly Figure 9's kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use waypart_analysis::cluster::{cut_for_cluster_count, single_linkage};
+use waypart_bench::{bench_runner, synthetic_features};
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::policy::PartitionPolicy;
+use waypart_sim::msr::PrefetcherMask;
+use waypart_workloads::registry;
+
+fn figure_kernels(c: &mut Criterion) {
+    let runner = bench_runner();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig 1 / Table 1: one 8-thread scalability run.
+    let blackscholes = registry::by_name("blackscholes").unwrap();
+    g.bench_function("fig1_thread_scalability_point", |b| {
+        b.iter(|| black_box(runner.run_solo(&blackscholes, 8, 12).cycles))
+    });
+
+    // Fig 2 / Table 2: one LLC-capacity point of the tomcat curve.
+    let tomcat = registry::by_name("tomcat").unwrap();
+    g.bench_function("fig2_llc_sensitivity_point", |b| {
+        b.iter(|| black_box(runner.run_solo(&tomcat, 4, 6).cycles))
+    });
+
+    // Fig 3: the prefetchers-off leg of one sensitivity measurement.
+    let libquantum = registry::by_name("462.libquantum").unwrap();
+    g.bench_function("fig3_prefetcher_sensitivity_point", |b| {
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_solo_configured(&libquantum, 1, 12, PrefetcherMask::all_disabled())
+                    .cycles,
+            )
+        })
+    });
+
+    // Fig 4: one victim-next-to-the-hog run.
+    let lbm = registry::by_name("470.lbm").unwrap();
+    let hog = registry::by_name("stream_uncached").unwrap();
+    g.bench_function("fig4_bandwidth_sensitivity_point", |b| {
+        b.iter(|| black_box(runner.run_with_hog(&lbm, &hog).fg_cycles))
+    });
+
+    // Fig 5 / Table 3: clustering 45 19-dimension feature vectors.
+    let features = synthetic_features(45, 19);
+    g.bench_function("fig5_clustering", |b| {
+        b.iter(|| {
+            let d = single_linkage(black_box(&features));
+            black_box(cut_for_cluster_count(&d, 7))
+        })
+    });
+
+    // Fig 6 / Fig 7: one allocation-space point (threads × ways sweep cell).
+    let fop = registry::by_name("fop").unwrap();
+    g.bench_function("fig6_allocation_point", |b| {
+        b.iter(|| {
+            let r = runner.run_solo(&fop, 4, 6);
+            black_box((r.cycles, r.energy.wall_j))
+        })
+    });
+
+    // Fig 8: one shared-LLC co-run cell of the 45×45 heat map.
+    let omnetpp = registry::by_name("471.omnetpp").unwrap();
+    let canneal = registry::by_name("canneal").unwrap();
+    g.bench_function("fig8_pairwise_cell", |b| {
+        b.iter(|| black_box(runner.run_pair_endless_bg(&omnetpp, &canneal, PartitionPolicy::Shared).fg_cycles))
+    });
+
+    // Fig 9: one biased-policy cell.
+    g.bench_function("fig9_policy_cell", |b| {
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_pair_endless_bg(&omnetpp, &canneal, PartitionPolicy::Biased { fg_ways: 9 })
+                    .fg_cycles,
+            )
+        })
+    });
+
+    // Fig 10 / Fig 11: one both-run-once consolidation cell.
+    let mcf = registry::by_name("429.mcf").unwrap();
+    let gems = registry::by_name("459.GemsFDTD").unwrap();
+    g.bench_function("fig10_consolidation_cell", |b| {
+        b.iter(|| {
+            let r = runner.run_pair_both_once(&mcf, &gems, PartitionPolicy::Fair);
+            black_box((r.total_cycles, r.energy.socket_j))
+        })
+    });
+
+    // Fig 12: one static mcf phase trace.
+    g.bench_function("fig12_phase_trace", |b| {
+        b.iter(|| black_box(runner.run_solo(&mcf, 1, 6).mpki.len()))
+    });
+
+    // Fig 13: one dynamically-partitioned co-run.
+    g.bench_function("fig13_dynamic_cell", |b| {
+        b.iter(|| black_box(runner.run_pair_dynamic(&mcf, &fop, DynamicConfig::paper()).bg_instructions))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, figure_kernels);
+criterion_main!(benches);

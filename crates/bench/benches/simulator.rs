@@ -1,0 +1,61 @@
+//! Raw simulator throughput: how many memory accesses per second the
+//! hierarchy sustains. This bounds how large the full-scale `reproduce`
+//! runs can be, and guards against performance regressions in the hot
+//! path (cache probe / fill / prefetch).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use waypart_sim::addr::{mix64, LineAddr};
+use waypart_sim::config::MachineConfig;
+use waypart_sim::dram::DramModel;
+use waypart_sim::hierarchy::Hierarchy;
+use waypart_sim::msr::PrefetcherMask;
+use waypart_sim::ring::RingModel;
+use waypart_sim::stream::Access;
+use waypart_sim::WayMask;
+
+const ACCESSES: u64 = 200_000;
+
+fn hierarchy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.sample_size(20);
+
+    for (label, ws_lines, prefetch) in [
+        ("l1_resident", 64u64, false),
+        ("llc_resident", 8_000, false),
+        ("dram_bound", 1_000_000, false),
+        ("dram_bound_prefetched", 1_000_000, true),
+    ] {
+        g.bench_function(label, |b| {
+            let cfg = MachineConfig::sandy_bridge();
+            let mut h = Hierarchy::new(&cfg);
+            let mut ring = RingModel::new(cfg.ring);
+            let mut dram = DramModel::new(cfg.dram);
+            let mask = WayMask::all(12);
+            let pf = if prefetch { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..ACCESSES {
+                    let line = if prefetch {
+                        LineAddr::in_space(0, i % ws_lines) // sequential: exercises the engines
+                    } else {
+                        LineAddr::in_space(0, mix64(i) % ws_lines)
+                    };
+                    let a = Access { line, write: i % 4 == 0, pc: 5, non_temporal: false, mlp: 1.0 };
+                    let out = h.access((i % 4) as usize, &a, mask, pf, &mut ring, &mut dram);
+                    acc = acc.wrapping_add(out.latency);
+                    if i % 1024 == 0 {
+                        ring.end_quantum(100_000);
+                        dram.end_quantum(100_000);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hierarchy_throughput);
+criterion_main!(benches);

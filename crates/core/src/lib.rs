@@ -1,0 +1,52 @@
+//! # waypart-core
+//!
+//! The primary contribution of Cook et al. (ISCA 2013): software control of
+//! hardware way-based LLC partitioning to consolidate a latency-sensitive
+//! *foreground* application with throughput *background* work.
+//!
+//! * [`policy`] — the three static policies compared in §5: **shared** (no
+//!   partitioning), **fair** (even split), and **biased** (the best static
+//!   split found by sweeping);
+//! * [`phase`] — Algorithm 6.1: MPKI-window phase detection;
+//! * [`dynamic`] — Algorithm 6.2: the lightweight online controller that
+//!   grants the foreground the full LLC on a phase change, then gradually
+//!   reclaims ways for the background until foreground MPKI reacts;
+//! * [`runner`] — the measurement harness: solo runs, co-scheduled pairs
+//!   under any policy, and dynamically-partitioned pairs, with energy
+//!   metering — the code equivalent of the paper's experimental setup
+//!   (4 threads on 2 cores per application, §5);
+//! * [`static_search`] — exhaustive biased-partition sweep (the oracle the
+//!   dynamic controller is judged against);
+//! * [`ucp`] — the utility-based cache partitioning baseline (Qureshi &
+//!   Patt, discussed in the paper's §7), built on the simulator's UMON
+//!   hardware, for throughput-vs-responsiveness comparisons;
+//! * [`resctl`] — a Linux-resctrl-style schemata text interface
+//!   (`L3:0=7f0`) over the way masks, with Intel CAT's validity rules;
+//! * [`qos`] — a minimum-performance (IPC-floor) controller in the spirit
+//!   of the paper's refs [20][26], for SLO-vs-throughput studies.
+//!
+//! ```no_run
+//! use waypart_core::runner::{Runner, RunnerConfig};
+//! use waypart_core::policy::PartitionPolicy;
+//! use waypart_workloads::registry;
+//!
+//! let runner = Runner::new(RunnerConfig::test());
+//! let fg = registry::by_name("429.mcf").unwrap();
+//! let bg = registry::by_name("459.GemsFDTD").unwrap();
+//! let pair = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Fair);
+//! println!("foreground ran {} cycles", pair.fg_cycles);
+//! ```
+
+pub mod dynamic;
+pub mod phase;
+pub mod policy;
+pub mod qos;
+pub mod resctl;
+pub mod runner;
+pub mod static_search;
+pub mod ucp;
+
+pub use dynamic::{DynamicConfig, DynamicPartitioner};
+pub use phase::{PhaseDetector, PhaseEvent, PhaseThresholds};
+pub use policy::PartitionPolicy;
+pub use runner::{PairResult, Runner, RunnerConfig, SoloResult};

@@ -1,0 +1,99 @@
+//! Static LLC partitioning policies (§5.2).
+
+use serde::{Deserialize, Serialize};
+use waypart_sim::WayMask;
+
+/// How the LLC is divided between the foreground and background
+/// applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionPolicy {
+    /// No partitioning: both applications may replace into all ways.
+    Shared,
+    /// Even split: each side gets half the ways.
+    Fair,
+    /// Uneven static split: the foreground gets `fg_ways`, the background
+    /// the rest. The paper reports the *best* biased allocation (minimum
+    /// foreground degradation, then maximum background performance),
+    /// found by sweeping — see [`crate::static_search`].
+    Biased {
+        /// Ways granted to the foreground's cores.
+        fg_ways: usize,
+    },
+}
+
+impl PartitionPolicy {
+    /// Resolves the policy into (foreground, background) way masks for a
+    /// `total_ways`-way LLC.
+    ///
+    /// Partitions are contiguous: foreground from way 0 up, background the
+    /// remainder. Under `Shared` both masks grant everything.
+    ///
+    /// # Panics
+    /// Panics if a biased split leaves either side without a way, or
+    /// `total_ways < 2` for split policies.
+    pub fn masks(self, total_ways: usize) -> (WayMask, WayMask) {
+        match self {
+            PartitionPolicy::Shared => (WayMask::all(total_ways), WayMask::all(total_ways)),
+            PartitionPolicy::Fair => {
+                assert!(total_ways >= 2, "cannot split a {total_ways}-way cache");
+                let half = total_ways / 2;
+                (WayMask::contiguous(0, half), WayMask::contiguous(half, total_ways - half))
+            }
+            PartitionPolicy::Biased { fg_ways } => {
+                assert!(fg_ways >= 1 && fg_ways < total_ways, "biased split {fg_ways}/{total_ways} leaves a side empty");
+                (WayMask::contiguous(0, fg_ways), WayMask::contiguous(fg_ways, total_ways - fg_ways))
+            }
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> String {
+        match self {
+            PartitionPolicy::Shared => "shared".to_string(),
+            PartitionPolicy::Fair => "fair".to_string(),
+            PartitionPolicy::Biased { fg_ways } => format!("biased({fg_ways})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_grants_everything_to_both() {
+        let (fg, bg) = PartitionPolicy::Shared.masks(12);
+        assert_eq!(fg.count(), 12);
+        assert_eq!(bg.count(), 12);
+        assert!(fg.overlaps(bg));
+    }
+
+    #[test]
+    fn fair_splits_evenly_and_disjointly() {
+        let (fg, bg) = PartitionPolicy::Fair.masks(12);
+        assert_eq!(fg.count(), 6);
+        assert_eq!(bg.count(), 6);
+        assert!(!fg.overlaps(bg));
+        assert_eq!(fg.union(bg).count(), 12);
+    }
+
+    #[test]
+    fn biased_gives_requested_ways() {
+        let (fg, bg) = PartitionPolicy::Biased { fg_ways: 9 }.masks(12);
+        assert_eq!(fg.count(), 9);
+        assert_eq!(bg.count(), 3);
+        assert!(!fg.overlaps(bg));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves a side empty")]
+    fn biased_cannot_starve_background() {
+        let _ = PartitionPolicy::Biased { fg_ways: 12 }.masks(12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PartitionPolicy::Shared.label(), "shared");
+        assert_eq!(PartitionPolicy::Biased { fg_ways: 3 }.label(), "biased(3)");
+    }
+}

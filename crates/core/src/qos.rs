@@ -1,0 +1,199 @@
+//! A minimum-performance QoS controller — the refs [20][26] policy family.
+//!
+//! The paper cites prior proposals that use partitioning "to provide a
+//! minimum performance to applications" (Iyer et al.'s QoS policies,
+//! Moreto et al.'s FlexDCP). This controller implements that contract on
+//! the simulator's mechanism: guarantee the foreground a target fraction
+//! of its uncontended IPC, and hand everything above that to the
+//! background.
+//!
+//! Unlike Algorithm 6.2 (which infers need from MPKI deltas), the QoS
+//! controller is a direct feedback loop on the *service-level objective*:
+//!
+//! * calibrate a reference IPC over the first windows at the maximum
+//!   allocation;
+//! * each window, compare the window IPC against `target × reference`:
+//!   below target → grow the foreground by one step; above target plus a
+//!   margin → shrink by one step.
+
+use serde::{Deserialize, Serialize};
+use waypart_sim::WayMask;
+
+/// QoS controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosConfig {
+    /// Total LLC ways.
+    pub total_ways: usize,
+    /// Smallest foreground allocation.
+    pub min_fg_ways: usize,
+    /// Largest foreground allocation (background keeps the rest).
+    pub max_fg_ways: usize,
+    /// Guaranteed fraction of the calibrated reference IPC (e.g. 0.95).
+    pub target: f64,
+    /// Hysteresis margin above the target before ways are reclaimed.
+    pub margin: f64,
+    /// Windows spent calibrating the reference IPC at max allocation.
+    pub warmup_windows: usize,
+}
+
+impl QosConfig {
+    /// A 95%-of-solo-IPC guarantee on the 12-way LLC.
+    pub fn guarantee_95() -> Self {
+        QosConfig {
+            total_ways: 12,
+            min_fg_ways: 2,
+            max_fg_ways: 11,
+            target: 0.95,
+            margin: 0.03,
+            warmup_windows: 4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent bounds or a target outside (0, 1].
+    pub fn validate(&self) {
+        assert!(self.max_fg_ways < self.total_ways, "background needs a way");
+        assert!(self.min_fg_ways >= 1 && self.min_fg_ways <= self.max_fg_ways);
+        assert!(self.target > 0.0 && self.target <= 1.0, "target must be a fraction");
+        assert!(self.margin >= 0.0);
+        assert!(self.warmup_windows >= 1);
+    }
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self::guarantee_95()
+    }
+}
+
+/// The QoS feedback controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosController {
+    cfg: QosConfig,
+    fg_ways: usize,
+    windows_seen: usize,
+    /// Best window IPC observed during calibration.
+    reference_ipc: f64,
+    reallocations: u64,
+}
+
+impl QosController {
+    /// A controller starting at the maximum foreground allocation (the
+    /// calibration posture).
+    pub fn new(cfg: QosConfig) -> Self {
+        cfg.validate();
+        QosController { cfg, fg_ways: cfg.max_fg_ways, windows_seen: 0, reference_ipc: 0.0, reallocations: 0 }
+    }
+
+    /// Current foreground allocation.
+    pub fn fg_ways(&self) -> usize {
+        self.fg_ways
+    }
+
+    /// The calibrated reference IPC (0 until warmup completes).
+    pub fn reference_ipc(&self) -> f64 {
+        self.reference_ipc
+    }
+
+    /// Reallocations performed.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Current (foreground, background) masks.
+    pub fn masks(&self) -> (WayMask, WayMask) {
+        (
+            WayMask::contiguous(0, self.fg_ways),
+            WayMask::contiguous(self.fg_ways, self.cfg.total_ways - self.fg_ways),
+        )
+    }
+
+    /// Feeds one window's foreground IPC; returns new masks on change.
+    pub fn observe(&mut self, window_ipc: f64) -> Option<(WayMask, WayMask)> {
+        self.windows_seen += 1;
+        if self.windows_seen <= self.cfg.warmup_windows {
+            self.reference_ipc = self.reference_ipc.max(window_ipc);
+            return None;
+        }
+        let floor = self.cfg.target * self.reference_ipc;
+        let before = self.fg_ways;
+        if window_ipc < floor {
+            self.fg_ways = (self.fg_ways + 1).min(self.cfg.max_fg_ways);
+        } else if window_ipc > floor * (1.0 + self.cfg.margin) {
+            self.fg_ways = self.fg_ways.saturating_sub(1).max(self.cfg.min_fg_ways);
+        }
+        if self.fg_ways != before {
+            self.reallocations += 1;
+            Some(self.masks())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_then_reclaims_when_slo_is_met() {
+        let mut q = QosController::new(QosConfig::guarantee_95());
+        for _ in 0..4 {
+            assert!(q.observe(1.0).is_none(), "no action during warmup");
+        }
+        assert!((q.reference_ipc() - 1.0).abs() < 1e-12);
+        // Comfortably above the 95% floor: shrink step by step.
+        for _ in 0..20 {
+            q.observe(1.0);
+        }
+        assert_eq!(q.fg_ways(), 2);
+    }
+
+    #[test]
+    fn grows_when_slo_violated() {
+        let mut q = QosController::new(QosConfig::guarantee_95());
+        for _ in 0..4 {
+            q.observe(1.0);
+        }
+        for _ in 0..20 {
+            q.observe(1.0); // shrink to minimum
+        }
+        // IPC collapses below the floor: grow back.
+        let m = q.observe(0.80).expect("must react to an SLO violation");
+        assert_eq!(m.0.count(), 3);
+        for _ in 0..20 {
+            q.observe(0.80);
+        }
+        assert_eq!(q.fg_ways(), 11, "persistent violation drives to max");
+    }
+
+    #[test]
+    fn hysteresis_band_holds_steady() {
+        let mut q = QosController::new(QosConfig::guarantee_95());
+        for _ in 0..4 {
+            q.observe(1.0);
+        }
+        // Exactly at the floor ±margin: no thrash.
+        for _ in 0..10 {
+            assert!(q.observe(0.96).is_none());
+        }
+    }
+
+    #[test]
+    fn masks_partition_the_cache() {
+        let q = QosController::new(QosConfig::guarantee_95());
+        let (f, b) = q.masks();
+        assert_eq!(f.count() + b.count(), 12);
+        assert!(!f.overlaps(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_target_rejected() {
+        let mut cfg = QosConfig::guarantee_95();
+        cfg.target = 1.5;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,741 @@
+//! The measurement harness: solo runs, co-scheduled pairs, and
+//! dynamically-partitioned pairs.
+//!
+//! Placement follows §5: each application gets 4 threads on 2 dedicated
+//! cores (both hyperthreads active) — foreground on cores 0–1 (hardware
+//! threads 0–3), background on cores 2–3 (hardware threads 4–7).
+//! Applications that cannot use 4 threads (SPEC, microbenchmarks) occupy
+//! only the threads they can fill, exactly as `taskset` pinning would.
+
+use crate::dynamic::{DynamicConfig, DynamicPartitioner};
+use crate::policy::PartitionPolicy;
+use serde::{Deserialize, Serialize};
+use waypart_energy::{EnergyBreakdown, EnergyMeter, PowerModel};
+use waypart_perfmon::{MpkiSeries, Sampler};
+use waypart_sim::config::MachineConfig;
+use waypart_sim::counters::HwCounters;
+use waypart_sim::machine::Machine;
+use waypart_sim::msr::PrefetcherMask;
+use waypart_sim::{Cycles, WayMask};
+use waypart_workloads::{AppSpec, Scale};
+
+/// Foreground address-space id.
+pub const FG_ASID: u16 = 1;
+/// Background address-space id.
+pub const BG_ASID: u16 = 2;
+
+/// Everything a measurement run needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Machine description (pair its capacity scale with `scale`).
+    pub machine: MachineConfig,
+    /// Workload scale preset.
+    pub scale: Scale,
+    /// Power model for energy metering.
+    pub power: PowerModel,
+    /// Base RNG seed; streams derive theirs deterministically.
+    pub seed: u64,
+    /// Counter sampling interval in cycles (the "100 ms" analog, scaled
+    /// with instruction volume so runs see a comparable window count).
+    pub sample_interval: Cycles,
+    /// Safety limit on quanta per run.
+    pub max_quanta: u64,
+}
+
+impl RunnerConfig {
+    /// Full-size platform (6 MB LLC) and workloads.
+    pub fn full() -> Self {
+        RunnerConfig {
+            machine: MachineConfig::sandy_bridge(),
+            scale: Scale::FULL,
+            power: PowerModel::sandy_bridge(),
+            seed: 0xC00C,
+            sample_interval: 2_000_000,
+            max_quanta: 4_000_000,
+        }
+    }
+
+    /// Bench scale: 1.5 MB LLC, 1/64 instruction volume.
+    pub fn bench() -> Self {
+        let mut machine = MachineConfig::scaled(4);
+        machine.quantum_cycles = 50_000;
+        RunnerConfig {
+            machine,
+            scale: Scale::BENCH,
+            power: PowerModel::sandy_bridge(),
+            seed: 0xC00C,
+            sample_interval: 400_000,
+            max_quanta: 1_000_000,
+        }
+    }
+
+    /// Like [`Self::test`] but with a modulo-indexed LLC, as page
+    /// coloring requires (the default hashed index defeats coloring).
+    pub fn test_colored() -> Self {
+        let mut cfg = Self::test();
+        cfg.machine.llc.index = waypart_sim::addr::IndexHash::Modulo;
+        cfg
+    }
+
+    /// Test scale: 96 KB LLC, tiny instruction volume, fine quanta.
+    pub fn test() -> Self {
+        let mut machine = MachineConfig::scaled(64);
+        machine.quantum_cycles = 20_000;
+        RunnerConfig {
+            machine,
+            scale: Scale::TEST,
+            power: PowerModel::sandy_bridge(),
+            seed: 0xC00C,
+            // Large enough that window-to-window MPKI shot noise stays
+            // below the controller's THR3 (5%).
+            sample_interval: 80_000,
+            max_quanta: 300_000,
+        }
+    }
+}
+
+/// Result of a solo (uncontended) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoloResult {
+    /// Cycles until the application finished.
+    pub cycles: Cycles,
+    /// Aggregated counters of all the app's threads.
+    pub counters: HwCounters,
+    /// Energy over the run.
+    pub energy: EnergyBreakdown,
+    /// Windowed MPKI trace.
+    pub mpki: MpkiSeries,
+    /// True if the quantum limit cut the run short.
+    pub truncated: bool,
+}
+
+/// Result of a co-scheduled run with a continuously-running background.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairResult {
+    /// Cycles until the foreground finished.
+    pub fg_cycles: Cycles,
+    /// Foreground counters at completion.
+    pub fg_counters: HwCounters,
+    /// Background instructions retired while the foreground ran.
+    pub bg_instructions: u64,
+    /// Background throughput in instructions per cycle.
+    pub bg_rate: f64,
+    /// Energy until foreground completion.
+    pub energy: EnergyBreakdown,
+    /// Foreground windowed MPKI trace.
+    pub fg_mpki: MpkiSeries,
+    /// Foreground way-allocation trace (cycle, ways) — constant for static
+    /// policies, the controller's decisions for dynamic runs.
+    pub fg_ways_trace: Vec<(Cycles, usize)>,
+    /// Mask reprogrammings performed (dynamic runs).
+    pub reallocations: u64,
+    /// True if the quantum limit cut the run short.
+    pub truncated: bool,
+}
+
+/// Result of running a pair where both applications execute exactly once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BothOnceResult {
+    /// Cycles until *both* applications finished.
+    pub total_cycles: Cycles,
+    /// Foreground completion time.
+    pub fg_cycles: Cycles,
+    /// Background completion time.
+    pub bg_cycles: Cycles,
+    /// Energy until both finished.
+    pub energy: EnergyBreakdown,
+    /// True if the quantum limit cut the run short.
+    pub truncated: bool,
+}
+
+/// A mask-reprogramming controller driving a co-scheduled run.
+enum Controller {
+    /// The paper's Algorithm 6.2.
+    Paper(DynamicPartitioner),
+    /// The UCP baseline (§7).
+    Ucp(crate::ucp::UcpController),
+    /// The IPC-floor QoS controller (refs [20][26]).
+    Qos(crate::qos::QosController),
+}
+
+impl Controller {
+    fn reallocations(&self) -> u64 {
+        match self {
+            Controller::Paper(c) => c.reallocations(),
+            Controller::Ucp(c) => c.repartitions(),
+            Controller::Qos(c) => c.reallocations(),
+        }
+    }
+}
+
+/// The measurement harness.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: RunnerConfig,
+}
+
+impl Runner {
+    /// A runner over `cfg`.
+    pub fn new(cfg: RunnerConfig) -> Self {
+        Runner { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.cfg
+    }
+
+    fn fresh_machine(&self) -> Machine {
+        Machine::new(self.cfg.machine.clone())
+    }
+
+    fn meter(&self) -> EnergyMeter {
+        EnergyMeter::new(self.cfg.power, self.cfg.machine.freq_ghz)
+    }
+
+    /// Attaches `spec` with up to `threads` threads starting at hardware
+    /// thread `first_ht`, as `taskset` would.
+    fn attach_app(&self, machine: &mut Machine, spec: &AppSpec, threads: usize, first_ht: usize, asid: u16, endless: bool) {
+        let effective = spec.effective_threads(threads);
+        for t in 0..effective {
+            let stream = if endless {
+                spec.endless_stream(effective, t, asid, self.cfg.scale, self.cfg.seed ^ u64::from(asid))
+            } else {
+                spec.thread_stream(effective, t, asid, self.cfg.scale, self.cfg.seed ^ u64::from(asid))
+            };
+            machine.attach(first_ht + t, asid, Box::new(stream));
+        }
+    }
+
+    /// Runs `spec` alone with `threads` threads and `ways` LLC ways, all
+    /// prefetchers enabled.
+    pub fn run_solo(&self, spec: &AppSpec, threads: usize, ways: usize) -> SoloResult {
+        self.run_solo_configured(spec, threads, ways, PrefetcherMask::all_enabled())
+    }
+
+    /// Runs `spec` alone under an explicit prefetcher configuration
+    /// (Figure 3's experiment).
+    pub fn run_solo_configured(
+        &self,
+        spec: &AppSpec,
+        threads: usize,
+        ways: usize,
+        prefetchers: PrefetcherMask,
+    ) -> SoloResult {
+        let mut machine = self.fresh_machine();
+        machine.set_prefetchers(prefetchers);
+        let mask = WayMask::contiguous(0, ways);
+        for core in 0..self.cfg.machine.cores {
+            machine.set_way_mask(core, mask);
+        }
+        self.attach_app(&mut machine, spec, threads, 0, FG_ASID, false);
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        SoloResult {
+            cycles: machine.finish_time(FG_ASID).unwrap_or(machine.now()),
+            counters: machine.app_counters(FG_ASID),
+            energy: meter.total(),
+            mpki,
+            truncated,
+        }
+    }
+
+    /// Runs `fg` (4 threads, cores 0–1) against a continuously-running
+    /// `bg` (4 threads, cores 2–3) under a static policy. The run ends
+    /// when the foreground finishes (Figs 8, 9, 13).
+    pub fn run_pair_endless_bg(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> PairResult {
+        let (fg_mask, bg_mask) = policy.masks(self.cfg.machine.llc.ways);
+        self.run_pair_inner(fg, bg, fg_mask, bg_mask, None)
+    }
+
+    /// Like [`Self::run_pair_endless_bg`] but with the dynamic controller
+    /// (Algorithm 6.2) reprogramming the masks at every sampling window.
+    pub fn run_pair_dynamic(&self, fg: &AppSpec, bg: &AppSpec, dyn_cfg: DynamicConfig) -> PairResult {
+        let ctl = DynamicPartitioner::new(dyn_cfg);
+        let m = ctl.masks();
+        self.run_pair_inner(fg, bg, m.fg, m.bg, Some(Controller::Paper(ctl)))
+    }
+
+    /// Like [`Self::run_pair_endless_bg`] but partitioned by the UCP
+    /// baseline (utility monitors + lookahead), for the §7 comparison.
+    pub fn run_pair_ucp(&self, fg: &AppSpec, bg: &AppSpec, ucp_cfg: crate::ucp::UcpConfig) -> PairResult {
+        let ctl = crate::ucp::UcpController::new(ucp_cfg);
+        let (fg_mask, bg_mask) = ctl.masks();
+        self.run_pair_inner(fg, bg, fg_mask, bg_mask, Some(Controller::Ucp(ctl)))
+    }
+
+    /// Like [`Self::run_pair_endless_bg`] but driven by the IPC-floor QoS
+    /// controller (refs [20][26]): guarantee the foreground a fraction of
+    /// its uncontended IPC, give the rest to the background.
+    pub fn run_pair_qos(&self, fg: &AppSpec, bg: &AppSpec, qos_cfg: crate::qos::QosConfig) -> PairResult {
+        let ctl = crate::qos::QosController::new(qos_cfg);
+        let (fg_mask, bg_mask) = ctl.masks();
+        self.run_pair_inner(fg, bg, fg_mask, bg_mask, Some(Controller::Qos(ctl)))
+    }
+
+    fn run_pair_inner(
+        &self,
+        fg: &AppSpec,
+        bg: &AppSpec,
+        fg_mask: WayMask,
+        bg_mask: WayMask,
+        mut controller: Option<Controller>,
+    ) -> PairResult {
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let mut machine = self.fresh_machine();
+        for core in 0..cores / 2 {
+            machine.set_way_mask(core, fg_mask);
+        }
+        for core in cores / 2..cores {
+            machine.set_way_mask(core, bg_mask);
+        }
+        self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
+        self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, true);
+        if matches!(controller, Some(Controller::Ucp(_))) {
+            machine.enable_umon();
+        }
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut ways_trace = Vec::new();
+        ways_trace.push((0, fg_mask.count()));
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+                let realloc = match controller.as_mut() {
+                    Some(Controller::Paper(ctl)) => ctl.observe(s.mpki()).map(|r| (r.fg, r.bg)),
+                    Some(Controller::Qos(ctl)) => ctl.observe(s.window.ipc()),
+                    Some(Controller::Ucp(ctl)) => {
+                        let fg_curve = Self::umon_curve(&machine, 0..cores / 2);
+                        let bg_curve = Self::umon_curve(&machine, cores / 2..cores);
+                        let r = ctl.on_window(&fg_curve, &bg_curve);
+                        if quanta > 0 && r.is_some() {
+                            machine.decay_umons();
+                        }
+                        r
+                    }
+                    None => None,
+                };
+                if let Some((fgm, bgm)) = realloc {
+                    for core in 0..cores / 2 {
+                        machine.set_way_mask(core, fgm);
+                    }
+                    for core in cores / 2..cores {
+                        machine.set_way_mask(core, bgm);
+                    }
+                    ways_trace.push((machine.now(), fgm.count()));
+                }
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
+        let bg_counters = machine.app_counters(BG_ASID);
+        PairResult {
+            fg_cycles,
+            fg_counters: machine.app_counters(FG_ASID),
+            bg_instructions: bg_counters.instructions,
+            bg_rate: bg_counters.instructions as f64 / fg_cycles.max(1) as f64,
+            energy: meter.total(),
+            fg_mpki: mpki,
+            fg_ways_trace: ways_trace,
+            reallocations: controller.map(|c| c.reallocations()).unwrap_or(0),
+            truncated,
+        }
+    }
+
+    /// Aggregated hits-versus-ways curve over the cores' utility monitors
+    /// (index `w` = hits with `w` ways; index 0 is 0).
+    fn umon_curve(machine: &Machine, cores: std::ops::Range<usize>) -> Vec<u64> {
+        let ways = machine.config().llc.ways;
+        let mut curve = vec![0u64; ways + 1];
+        for core in cores {
+            if let Some(u) = machine.umon(core) {
+                for (w, slot) in curve.iter_mut().enumerate() {
+                    *slot += u.hits_with_ways(w.min(u.ways()));
+                }
+            }
+        }
+        curve
+    }
+
+    /// Runs `fg` against `copies` independent, continuously-running copies
+    /// of `bg`, each pinned to its own core inside the background
+    /// partition — §5.2's "one foreground application and two or more
+    /// copies of the background applications" experiment. All background
+    /// peers share the background way mask and contend within it.
+    ///
+    /// # Panics
+    /// Panics if `copies` is 0 or exceeds the machine's background cores.
+    pub fn run_pair_multi_bg(
+        &self,
+        fg: &AppSpec,
+        bg: &AppSpec,
+        copies: usize,
+        policy: PartitionPolicy,
+    ) -> PairResult {
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let bg_cores = cores - cores / 2;
+        assert!(copies >= 1 && copies <= bg_cores, "cannot pin {copies} background copies on {bg_cores} cores");
+        let (fg_mask, bg_mask) = policy.masks(self.cfg.machine.llc.ways);
+        let mut machine = self.fresh_machine();
+        for core in 0..cores {
+            machine.set_way_mask(core, if core < cores / 2 { fg_mask } else { bg_mask });
+        }
+        let half_hts = cores / 2 * tpc;
+        self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
+        for copy in 0..copies {
+            let asid = BG_ASID + copy as u16;
+            let first_ht = half_hts + copy * tpc;
+            self.attach_app(&mut machine, bg, tpc, first_ht, asid, true);
+        }
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
+        let bg_instructions: u64 =
+            (0..copies).map(|c| machine.app_counters(BG_ASID + c as u16).instructions).sum();
+        PairResult {
+            fg_cycles,
+            fg_counters: machine.app_counters(FG_ASID),
+            bg_instructions,
+            bg_rate: bg_instructions as f64 / fg_cycles.max(1) as f64,
+            energy: meter.total(),
+            fg_mpki: mpki,
+            fg_ways_trace: vec![(0, fg_mask.count())],
+            reallocations: 0,
+            truncated,
+        }
+    }
+
+    /// Runs both applications exactly once, concurrently, under a static
+    /// policy; the run ends when *both* finish (Figs 10, 11).
+    pub fn run_pair_both_once(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> BothOnceResult {
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let (fg_mask, bg_mask) = policy.masks(self.cfg.machine.llc.ways);
+        let mut machine = self.fresh_machine();
+        for core in 0..cores / 2 {
+            machine.set_way_mask(core, fg_mask);
+        }
+        for core in cores / 2..cores {
+            machine.set_way_mask(core, bg_mask);
+        }
+        self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
+        self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, false);
+
+        let mut meter = self.meter();
+        let mut quanta = 0u64;
+        while machine.any_active() && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            quanta += 1;
+        }
+        let truncated = machine.any_active();
+        BothOnceResult {
+            total_cycles: machine.now(),
+            fg_cycles: machine.finish_time(FG_ASID).unwrap_or(machine.now()),
+            bg_cycles: machine.finish_time(BG_ASID).unwrap_or(machine.now()),
+            energy: meter.total(),
+            truncated,
+        }
+    }
+
+    /// Like [`Self::run_pair_endless_bg`] with the background cores
+    /// additionally throttled to `bg_mba_percent` of full memory
+    /// bandwidth — the §8 future-work bandwidth-QoS knob (Intel MBA's
+    /// semantics).
+    pub fn run_pair_mba(
+        &self,
+        fg: &AppSpec,
+        bg: &AppSpec,
+        policy: PartitionPolicy,
+        bg_mba_percent: u8,
+    ) -> PairResult {
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let (fg_mask, bg_mask) = policy.masks(self.cfg.machine.llc.ways);
+        let mut machine = self.fresh_machine();
+        for core in 0..cores {
+            machine.set_way_mask(core, if core < cores / 2 { fg_mask } else { bg_mask });
+            if core >= cores / 2 {
+                machine.set_mba(core, bg_mba_percent);
+            }
+        }
+        self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
+        self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, true);
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
+        let bg_counters = machine.app_counters(BG_ASID);
+        PairResult {
+            fg_cycles,
+            fg_counters: machine.app_counters(FG_ASID),
+            bg_instructions: bg_counters.instructions,
+            bg_rate: bg_counters.instructions as f64 / fg_cycles.max(1) as f64,
+            energy: meter.total(),
+            fg_mpki: mpki,
+            fg_ways_trace: vec![(0, fg_mask.count())],
+            reallocations: 0,
+            truncated,
+        }
+    }
+
+    /// Runs `fg` against an endless `bg` with the LLC partitioned by
+    /// **page coloring** instead of way masks: the foreground owns
+    /// `fg_groups` of the 16 color groups, the background the rest. Way
+    /// masks stay fully shared. The machine must be configured with a
+    /// modulo-indexed LLC (see [`RunnerConfig::colored`]).
+    ///
+    /// # Panics
+    /// Panics if `fg_groups` is 0 or 16, or the LLC is hash-indexed.
+    pub fn run_pair_colored(&self, fg: &AppSpec, bg: &AppSpec, fg_groups: usize) -> PairResult {
+        use waypart_sim::coloring::ColorAssignment;
+        let groups = ColorAssignment::DEFAULT_GROUPS;
+        assert!(fg_groups >= 1 && fg_groups < groups, "coloring split {fg_groups}/{groups} leaves a side empty");
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let mut machine = self.fresh_machine();
+        machine.enable_coloring(groups);
+        let fg_mask = (1u32 << fg_groups) - 1;
+        let bg_mask = ((1u32 << groups) - 1) & !fg_mask;
+        machine.assign_colors(FG_ASID, fg_mask);
+        machine.assign_colors(BG_ASID, bg_mask);
+        self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
+        self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, true);
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
+        let bg_counters = machine.app_counters(BG_ASID);
+        PairResult {
+            fg_cycles,
+            fg_counters: machine.app_counters(FG_ASID),
+            bg_instructions: bg_counters.instructions,
+            bg_rate: bg_counters.instructions as f64 / fg_cycles.max(1) as f64,
+            energy: meter.total(),
+            fg_mpki: mpki,
+            fg_ways_trace: vec![(0, fg_groups)],
+            reallocations: 0,
+            truncated,
+        }
+    }
+
+    /// Runs `spec` (4 threads, cores 0–1) next to the `stream_uncached`
+    /// bandwidth hog on core 2 — Figure 4's experiment.
+    pub fn run_with_hog(&self, spec: &AppSpec, hog: &AppSpec) -> PairResult {
+        let (fg_mask, bg_mask) = PartitionPolicy::Shared.masks(self.cfg.machine.llc.ways);
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let mut machine = self.fresh_machine();
+        for core in 0..cores {
+            machine.set_way_mask(core, if core < cores / 2 { fg_mask } else { bg_mask });
+        }
+        self.attach_app(&mut machine, spec, half_hts, 0, FG_ASID, false);
+        self.attach_app(&mut machine, hog, 1, half_hts, BG_ASID, true);
+
+        let mut meter = self.meter();
+        let mut sampler = Sampler::new(self.cfg.sample_interval);
+        let mut mpki = MpkiSeries::new();
+        let mut quanta = 0u64;
+        while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
+            let act = machine.run_quantum();
+            meter.on_quantum(&act);
+            if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
+                mpki.push_sample(&s);
+            }
+            quanta += 1;
+        }
+        let truncated = !machine.app_done(FG_ASID);
+        let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
+        let bg = machine.app_counters(BG_ASID);
+        PairResult {
+            fg_cycles,
+            fg_counters: machine.app_counters(FG_ASID),
+            bg_instructions: bg.instructions,
+            bg_rate: bg.instructions as f64 / fg_cycles.max(1) as f64,
+            energy: meter.total(),
+            fg_mpki: mpki,
+            fg_ways_trace: vec![(0, fg_mask.count())],
+            reallocations: 0,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_workloads::registry;
+
+    fn runner() -> Runner {
+        Runner::new(RunnerConfig::test())
+    }
+
+    #[test]
+    fn solo_run_completes() {
+        let r = runner();
+        let spec = registry::by_name("swaptions").unwrap();
+        let res = r.run_solo(&spec, 4, 12);
+        assert!(!res.truncated, "swaptions truncated");
+        assert!(res.cycles > 0);
+        assert!(res.counters.instructions > 100_000);
+        assert!(res.energy.socket_j > 0.0);
+        assert!(res.energy.wall_j > res.energy.socket_j);
+    }
+
+    #[test]
+    fn solo_runs_are_deterministic() {
+        let r = runner();
+        let spec = registry::by_name("dedup").unwrap();
+        let a = r.run_solo(&spec, 2, 12);
+        let b = r.run_solo(&spec, 2, 12);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn more_threads_finish_sooner_for_scalable_app() {
+        let r = runner();
+        let spec = registry::by_name("blackscholes").unwrap();
+        let t1 = r.run_solo(&spec, 1, 12).cycles;
+        let t8 = r.run_solo(&spec, 8, 12).cycles;
+        assert!(
+            (t1 as f64) / (t8 as f64) > 2.5,
+            "blackscholes speedup {} too low",
+            t1 as f64 / t8 as f64
+        );
+    }
+
+    #[test]
+    fn pair_with_endless_bg_finishes_fg() {
+        let r = runner();
+        let fg = registry::by_name("dedup").unwrap();
+        let bg = registry::by_name("swaptions").unwrap();
+        let res = r.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+        assert!(!res.truncated);
+        assert!(res.bg_instructions > 0, "background made no progress");
+        assert!(res.bg_rate > 0.0);
+    }
+
+    #[test]
+    fn partitioning_protects_a_sensitive_foreground() {
+        // A cache-hungry foreground next to a thrashing background: the
+        // biased split must beat shared on foreground time.
+        let r = runner();
+        let fg = registry::by_name("471.omnetpp").unwrap();
+        let bg = registry::by_name("canneal").unwrap();
+        let solo = r.run_solo(&fg, 4, 12).cycles as f64;
+        let shared = r.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+        let biased = r.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 9 });
+        let slow_shared = shared.fg_cycles as f64 / solo;
+        let slow_biased = biased.fg_cycles as f64 / solo;
+        assert!(
+            slow_biased < slow_shared + 1e-9,
+            "biased ({slow_biased:.3}) not better than shared ({slow_shared:.3})"
+        );
+    }
+
+    #[test]
+    fn dynamic_controller_reallocates() {
+        let r = runner();
+        let fg = registry::by_name("429.mcf").unwrap(); // phase-changing
+        let bg = registry::by_name("swaptions").unwrap();
+        let res = r.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
+        assert!(!res.truncated);
+        assert!(res.reallocations > 0, "controller never acted");
+        assert!(res.fg_ways_trace.len() > 1);
+        for &(_, ways) in &res.fg_ways_trace {
+            assert!((2..=11).contains(&ways), "allocation {ways} out of bounds");
+        }
+    }
+
+    #[test]
+    fn both_once_tracks_individual_finishes() {
+        let r = runner();
+        let fg = registry::by_name("swaptions").unwrap();
+        let bg = registry::by_name("dedup").unwrap();
+        let res = r.run_pair_both_once(&fg, &bg, PartitionPolicy::Fair);
+        assert!(!res.truncated);
+        assert!(res.fg_cycles <= res.total_cycles);
+        assert!(res.bg_cycles <= res.total_cycles);
+        assert_eq!(res.total_cycles, res.fg_cycles.max(res.bg_cycles));
+    }
+
+    #[test]
+    fn hog_slows_bandwidth_sensitive_app() {
+        let r = runner();
+        let hog = registry::by_name("stream_uncached").unwrap();
+        let victim = registry::by_name("462.libquantum").unwrap();
+        let solo = r.run_solo(&victim, 4, 12).cycles as f64;
+        let with_hog = r.run_with_hog(&victim, &hog).fg_cycles as f64;
+        assert!(with_hog / solo > 1.15, "hog slowdown only {:.3}", with_hog / solo);
+    }
+
+    #[test]
+    fn hog_barely_affects_compute_bound_app() {
+        let r = runner();
+        let hog = registry::by_name("stream_uncached").unwrap();
+        let victim = registry::by_name("453.povray").unwrap();
+        let solo = r.run_solo(&victim, 4, 12).cycles as f64;
+        let with_hog = r.run_with_hog(&victim, &hog).fg_cycles as f64;
+        assert!(with_hog / solo < 1.08, "povray hog slowdown {:.3} too high", with_hog / solo);
+    }
+}

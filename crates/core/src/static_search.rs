@@ -1,0 +1,101 @@
+//! Exhaustive biased-partition search — the static oracle.
+//!
+//! The paper evaluates "all possible biased allocations and report[s]
+//! results for the one that is the best (i.e., among allocations with
+//! minimum foreground performance degradation, select the one that
+//! maximizes background performance)" (§5.2). This sweep is what makes
+//! static biased partitioning impractical in deployment (§8) — and it is
+//! the baseline the dynamic controller is judged against (Fig 13).
+
+use crate::policy::PartitionPolicy;
+use crate::runner::{PairResult, Runner};
+use waypart_workloads::AppSpec;
+
+/// Degradations within this factor of the best count as ties, broken by
+/// background throughput (measurement noise would otherwise pick
+/// arbitrarily among near-equal allocations).
+const TIE_TOLERANCE: f64 = 0.01;
+
+/// Outcome of the biased sweep.
+#[derive(Debug, Clone)]
+pub struct BiasedSearch {
+    /// Foreground ways of the winning allocation.
+    pub fg_ways: usize,
+    /// The winning run.
+    pub best: PairResult,
+    /// Foreground slowdown (vs. `fg_solo_cycles`) per candidate
+    /// allocation, indexed from `min_fg_ways`.
+    pub slowdowns: Vec<(usize, f64)>,
+}
+
+/// Sweeps every biased allocation for the pair and picks the paper's
+/// winner.
+///
+/// `fg_solo_cycles` is the foreground's uncontended runtime on its 2 cores
+/// with the full LLC (the normalization baseline).
+///
+/// # Panics
+/// Panics if the machine has fewer than 3 ways (no sweep possible).
+pub fn best_biased(
+    runner: &Runner,
+    fg: &AppSpec,
+    bg: &AppSpec,
+    fg_solo_cycles: u64,
+) -> BiasedSearch {
+    let total_ways = runner.config().machine.llc.ways;
+    assert!(total_ways >= 3, "cannot sweep a {total_ways}-way cache");
+    let mut candidates = Vec::new();
+    for fg_ways in 1..total_ways {
+        let res = runner.run_pair_endless_bg(fg, bg, PartitionPolicy::Biased { fg_ways });
+        let slowdown = res.fg_cycles as f64 / fg_solo_cycles as f64;
+        candidates.push((fg_ways, slowdown, res));
+    }
+    let min_slowdown =
+        candidates.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+    let (fg_ways, _, best) = candidates
+        .iter()
+        .filter(|c| c.1 <= min_slowdown * (1.0 + TIE_TOLERANCE))
+        .max_by(|a, b| a.2.bg_rate.partial_cmp(&b.2.bg_rate).expect("finite rates"))
+        .cloned()
+        .expect("at least one candidate");
+    BiasedSearch {
+        fg_ways,
+        best,
+        slowdowns: candidates.into_iter().map(|(w, s, _)| (w, s)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunnerConfig;
+    use waypart_workloads::registry;
+
+    #[test]
+    fn sweep_covers_all_allocations() {
+        let runner = Runner::new(RunnerConfig::test());
+        let fg = registry::by_name("swaptions").unwrap();
+        let bg = registry::by_name("dedup").unwrap();
+        let solo = runner.run_solo(&fg, 4, 12).cycles;
+        let search = best_biased(&runner, &fg, &bg, solo);
+        assert_eq!(search.slowdowns.len(), 11);
+        assert!((1..12).contains(&search.fg_ways));
+        assert!(!search.best.truncated);
+    }
+
+    #[test]
+    fn cache_insensitive_fg_yields_ways_to_bg() {
+        // swaptions doesn't need capacity: the winner should leave it a
+        // small allocation so the cache-hungry background runs faster.
+        let runner = Runner::new(RunnerConfig::test());
+        let fg = registry::by_name("swaptions").unwrap();
+        let bg = registry::by_name("471.omnetpp").unwrap();
+        let solo = runner.run_solo(&fg, 4, 12).cycles;
+        let search = best_biased(&runner, &fg, &bg, solo);
+        assert!(
+            search.fg_ways <= 6,
+            "insensitive foreground kept {} ways",
+            search.fg_ways
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Utility-based cache partitioning (UCP) — the §7 baseline.
+//!
+//! Qureshi & Patt's UCP (MICRO 2006) partitions the LLC to maximize *total
+//! hits*: per-core utility monitors ([`waypart_sim::umon`]) supply each
+//! side's hits-versus-ways curve and the **lookahead algorithm** hands out
+//! ways to whoever gains the most per way. The paper contrasts its own
+//! approach with this line of work: UCP needs monitoring hardware current
+//! processors lack and optimizes throughput, not foreground
+//! responsiveness. Implementing it lets the reproduction quantify that
+//! trade-off (see `waypart-experiments::ext_ucp`): UCP should win combined
+//! throughput while the paper's controller wins foreground protection.
+
+use serde::{Deserialize, Serialize};
+use waypart_sim::WayMask;
+
+/// UCP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UcpConfig {
+    /// Total LLC ways to divide.
+    pub total_ways: usize,
+    /// Minimum ways either side keeps (a side must always be able to
+    /// allocate).
+    pub min_ways: usize,
+    /// Repartition once per this many sampling windows (counters decay at
+    /// each repartition, per the UCP paper).
+    pub windows_per_repartition: usize,
+}
+
+impl UcpConfig {
+    /// Defaults for the modeled 12-way LLC.
+    pub fn default_12way() -> Self {
+        UcpConfig { total_ways: 12, min_ways: 1, windows_per_repartition: 4 }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent way bounds or a zero interval.
+    pub fn validate(&self) {
+        assert!(self.total_ways >= 2);
+        assert!(self.min_ways >= 1 && 2 * self.min_ways <= self.total_ways, "minimums exceed the cache");
+        assert!(self.windows_per_repartition >= 1);
+    }
+}
+
+impl Default for UcpConfig {
+    fn default() -> Self {
+        Self::default_12way()
+    }
+}
+
+/// The lookahead partitioning algorithm for two competitors.
+///
+/// `fg_hits[w]` / `bg_hits[w]` give each side's hits with a `w`-way
+/// allocation (`index 0 = 0 ways = 0 hits`). Both sides start at
+/// `min_ways`; the remaining ways go, one *block* at a time, to the side
+/// with the highest maximum marginal utility per way — Qureshi & Patt's
+/// refinement over plain greedy, which gets stuck before utility "cliffs".
+///
+/// Returns `(fg_ways, bg_ways)`.
+///
+/// # Panics
+/// Panics if the curves are shorter than `total_ways + 1` entries or the
+/// config is invalid.
+pub fn lookahead_partition(fg_hits: &[u64], bg_hits: &[u64], cfg: &UcpConfig) -> (usize, usize) {
+    cfg.validate();
+    assert!(fg_hits.len() > cfg.total_ways && bg_hits.len() > cfg.total_ways, "curves too short");
+    let mut fg = cfg.min_ways;
+    let mut bg = cfg.min_ways;
+    let mut remaining = cfg.total_ways - fg - bg;
+
+    // Max marginal utility per way over any extension of `alloc` by up to
+    // `budget` ways; returns (utility_per_way, ways_to_take).
+    let best_step = |hits: &[u64], alloc: usize, budget: usize| -> (f64, usize) {
+        let mut best = (-1.0f64, 1usize);
+        for k in 1..=budget {
+            let mu = (hits[alloc + k] - hits[alloc]) as f64 / k as f64;
+            if mu > best.0 {
+                best = (mu, k);
+            }
+        }
+        best
+    };
+
+    while remaining > 0 {
+        let (fg_mu, fg_k) = best_step(fg_hits, fg, remaining);
+        let (bg_mu, bg_k) = best_step(bg_hits, bg, remaining);
+        // Ties go to whoever currently holds less, so identical curves
+        // split evenly instead of one side absorbing every tie.
+        let fg_wins = fg_mu > bg_mu || (fg_mu == bg_mu && fg <= bg);
+        if fg_wins {
+            fg += fg_k;
+            remaining -= fg_k;
+        } else {
+            bg += bg_k;
+            remaining -= bg_k;
+        }
+    }
+    (fg, bg)
+}
+
+/// The UCP repartitioning controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UcpController {
+    cfg: UcpConfig,
+    windows: usize,
+    fg_ways: usize,
+    repartitions: u64,
+}
+
+impl UcpController {
+    /// A controller starting from an even split.
+    pub fn new(cfg: UcpConfig) -> Self {
+        cfg.validate();
+        UcpController { cfg, windows: 0, fg_ways: cfg.total_ways / 2, repartitions: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &UcpConfig {
+        &self.cfg
+    }
+
+    /// Current foreground allocation.
+    pub fn fg_ways(&self) -> usize {
+        self.fg_ways
+    }
+
+    /// Repartitions performed.
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
+    }
+
+    /// Current (foreground, background) masks.
+    pub fn masks(&self) -> (WayMask, WayMask) {
+        (
+            WayMask::contiguous(0, self.fg_ways),
+            WayMask::contiguous(self.fg_ways, self.cfg.total_ways - self.fg_ways),
+        )
+    }
+
+    /// Offers one sampling window; on every `windows_per_repartition`-th
+    /// call, runs lookahead over the supplied hit curves and returns the
+    /// new masks (with a flag telling the caller to decay the monitors).
+    pub fn on_window(&mut self, fg_hits: &[u64], bg_hits: &[u64]) -> Option<(WayMask, WayMask)> {
+        self.windows += 1;
+        if self.windows % self.cfg.windows_per_repartition != 0 {
+            return None;
+        }
+        let (fg, _bg) = lookahead_partition(fg_hits, bg_hits, &self.cfg);
+        self.repartitions += 1;
+        if fg != self.fg_ways {
+            self.fg_ways = fg;
+            Some(self.masks())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Curve that saturates at `sat` ways with `h` hits per way.
+    fn curve(sat: usize, h: u64, total: usize) -> Vec<u64> {
+        (0..=total).map(|w| h * w.min(sat) as u64).collect()
+    }
+
+    #[test]
+    fn hungrier_side_gets_more_ways() {
+        let cfg = UcpConfig::default_12way();
+        let fg = curve(10, 100, 12); // keeps benefiting to 10 ways
+        let bg = curve(2, 100, 12); // saturates at 2
+        let (f, b) = lookahead_partition(&fg, &bg, &cfg);
+        assert_eq!(f + b, 12);
+        assert!(f >= 9, "hungry side got only {f} ways");
+    }
+
+    #[test]
+    fn equal_curves_split_roughly_evenly() {
+        let cfg = UcpConfig::default_12way();
+        let a = curve(12, 50, 12);
+        let (f, b) = lookahead_partition(&a, &a, &cfg);
+        assert_eq!(f + b, 12);
+        assert!((f as i64 - b as i64).abs() <= 2, "uneven split {f}/{b}");
+    }
+
+    #[test]
+    fn lookahead_sees_past_a_cliff() {
+        // fg gains nothing until way 6, then a huge cliff; plain greedy
+        // (k = 1) would starve it.
+        let total = 12;
+        let mut fg = vec![0u64; total + 1];
+        for w in 6..=total {
+            fg[w] = 10_000;
+        }
+        let bg = curve(12, 10, total);
+        let (f, _) = lookahead_partition(&fg, &bg, &UcpConfig::default_12way());
+        assert!(f >= 6, "lookahead missed the cliff: fg={f}");
+    }
+
+    #[test]
+    fn minimums_respected() {
+        let cfg = UcpConfig { total_ways: 12, min_ways: 2, windows_per_repartition: 1 };
+        let fg = curve(12, 1000, 12);
+        let bg = curve(12, 0, 12); // useless cache user
+        let (f, b) = lookahead_partition(&fg, &bg, &cfg);
+        assert_eq!(b, 2);
+        assert_eq!(f, 10);
+    }
+
+    #[test]
+    fn controller_repartitions_on_schedule() {
+        let mut ctl = UcpController::new(UcpConfig { total_ways: 12, min_ways: 1, windows_per_repartition: 3 });
+        let fg = curve(10, 100, 12);
+        let bg = curve(2, 100, 12);
+        assert!(ctl.on_window(&fg, &bg).is_none());
+        assert!(ctl.on_window(&fg, &bg).is_none());
+        let masks = ctl.on_window(&fg, &bg).expect("third window repartitions");
+        assert!(masks.0.count() >= 9);
+        assert!(!masks.0.overlaps(masks.1));
+        assert_eq!(ctl.repartitions(), 1);
+    }
+
+    #[test]
+    fn masks_partition_exactly() {
+        let ctl = UcpController::new(UcpConfig::default_12way());
+        let (f, b) = ctl.masks();
+        assert_eq!(f.count() + b.count(), 12);
+        assert!(!f.overlaps(b));
+    }
+}

@@ -1,0 +1,23 @@
+//! # waypart-energy
+//!
+//! Energy accounting for the simulated socket, standing in for the RAPL
+//! counters and the FitPC wall-socket multimeter of §2.2.
+//!
+//! The model follows the paper's observations (§4):
+//!
+//! * socket power is dominated by static (uncore + LLC leakage) and
+//!   per-core active power — **cache capacity allocation does not change
+//!   socket power** ("current hardware cannot turn off power to a portion
+//!   of the cache"); capacity choices affect energy only through runtime
+//!   and DRAM traffic;
+//! * LLC misses cost energy twice: the DRAM access itself and the longer
+//!   runtime it causes — which is why race-to-halt emerges as the optimal
+//!   strategy;
+//! * wall power adds DRAM, board overhead, and PSU inefficiency on top of
+//!   the socket.
+
+pub mod meter;
+pub mod model;
+
+pub use meter::EnergyMeter;
+pub use model::{EnergyBreakdown, PowerModel};

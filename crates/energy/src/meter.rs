@@ -1,0 +1,151 @@
+//! Quantum-by-quantum energy integration.
+
+use crate::model::{EnergyBreakdown, PowerModel};
+use serde::{Deserialize, Serialize};
+use waypart_sim::machine::QuantumActivity;
+
+/// Integrates [`QuantumActivity`] reports into an [`EnergyBreakdown`] —
+/// the analog of reading the RAPL counters and the wall multimeter over an
+/// application's execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    model: PowerModel,
+    freq_ghz: f64,
+    acc: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// A meter for a machine running at `freq_ghz`.
+    ///
+    /// # Panics
+    /// Panics if the model is invalid or the frequency non-positive.
+    pub fn new(model: PowerModel, freq_ghz: f64) -> Self {
+        model.validate();
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        EnergyMeter { model, freq_ghz, acc: EnergyBreakdown::default() }
+    }
+
+    /// Accounts one quantum of machine activity.
+    pub fn on_quantum(&mut self, act: &QuantumActivity) {
+        let dt = act.cycles as f64 / (self.freq_ghz * 1e9);
+        let smt_cores = act.active_threads.saturating_sub(act.active_cores);
+        let socket_power = self.model.socket_idle_w
+            + act.active_cores as f64 * self.model.core_active_w
+            + smt_cores as f64 * self.model.smt_extra_w;
+        let socket = socket_power * dt + act.llc_accesses as f64 * self.model.llc_access_j;
+        let dram = act.dram_lines as f64 * self.model.dram_line_j;
+        let wall = (socket + dram + self.model.system_base_w * dt) / self.model.psu_efficiency;
+        self.acc.socket_j += socket;
+        self.acc.dram_j += dram;
+        self.acc.wall_j += wall;
+        self.acc.seconds += dt;
+    }
+
+    /// The accumulated energy so far.
+    pub fn total(&self) -> EnergyBreakdown {
+        self.acc
+    }
+
+    /// The power model in use.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Resets the accumulator (e.g. after warmup).
+    pub fn reset(&mut self) {
+        self.acc = EnergyBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(cycles: u64, threads: usize, cores: usize, llc: u64, dram: u64) -> QuantumActivity {
+        QuantumActivity {
+            cycles,
+            active_threads: threads,
+            active_cores: cores,
+            instructions: 0,
+            llc_accesses: llc,
+            dram_lines: dram,
+            any_active: threads > 0,
+        }
+    }
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(PowerModel::sandy_bridge(), 1.0) // 1 GHz: 1e9 cycles = 1 s
+    }
+
+    #[test]
+    fn idle_quantum_costs_static_power() {
+        let mut m = meter();
+        m.on_quantum(&act(1_000_000_000, 0, 0, 0, 0));
+        let e = m.total();
+        assert!((e.socket_j - 14.0).abs() < 1e-9);
+        assert!((e.seconds - 1.0).abs() < 1e-12);
+        // Wall adds the system base over PSU efficiency.
+        assert!((e.wall_j - (14.0 + 28.0) / 0.85).abs() < 1e-6);
+    }
+
+    #[test]
+    fn active_cores_add_power() {
+        let mut m = meter();
+        m.on_quantum(&act(1_000_000_000, 2, 2, 0, 0));
+        assert!((m.total().socket_j - (14.0 + 2.0 * 5.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_hyperthread_costs_less_than_a_core() {
+        let mut both = meter();
+        both.on_quantum(&act(1_000_000_000, 2, 1, 0, 0)); // 2 HTs, 1 core
+        let mut two_cores = meter();
+        two_cores.on_quantum(&act(1_000_000_000, 2, 2, 0, 0));
+        assert!(both.total().socket_j < two_cores.total().socket_j);
+    }
+
+    #[test]
+    fn dram_counts_toward_wall_not_socket() {
+        let mut m = meter();
+        m.on_quantum(&act(1_000, 1, 1, 0, 1_000_000));
+        let e = m.total();
+        assert!(e.dram_j > 0.0);
+        assert!(e.wall_j > e.socket_j);
+        // Socket term contains no dram_line_j contribution.
+        let socket_only = {
+            let mut m2 = meter();
+            m2.on_quantum(&act(1_000, 1, 1, 0, 0));
+            m2.total().socket_j
+        };
+        assert!((e.socket_j - socket_only).abs() < 1e-12);
+    }
+
+    #[test]
+    fn race_to_halt_is_energy_optimal() {
+        // The same work done in half the time on twice the cores costs less
+        // socket energy because static power stops sooner — the paper's
+        // central §4 observation.
+        let mut slow = meter();
+        for _ in 0..10 {
+            slow.on_quantum(&act(1_000_000_000, 1, 1, 1000, 1000));
+        }
+        let mut fast = meter();
+        for _ in 0..5 {
+            fast.on_quantum(&act(1_000_000_000, 2, 2, 1000, 1000));
+        }
+        assert!(
+            fast.total().socket_j < slow.total().socket_j,
+            "race-to-halt violated: {} >= {}",
+            fast.total().socket_j,
+            slow.total().socket_j
+        );
+    }
+
+    #[test]
+    fn reset_clears_accumulator() {
+        let mut m = meter();
+        m.on_quantum(&act(1_000_000, 1, 1, 10, 10));
+        m.reset();
+        assert_eq!(m.total(), EnergyBreakdown::default());
+    }
+}

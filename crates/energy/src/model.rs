@@ -1,0 +1,112 @@
+//! Power/energy parameters of the modeled platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Static and dynamic power coefficients.
+///
+/// Values are plausible for a 32 nm Sandy Bridge client part; the paper's
+/// conclusions rest on the *ratios* (static-dominated socket, expensive
+/// DRAM accesses), which the defaults preserve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Socket power with all cores idle (uncore, ring, LLC leakage), watts.
+    pub socket_idle_w: f64,
+    /// Additional power per core with at least one active hyperthread.
+    pub core_active_w: f64,
+    /// Additional power when a core's second hyperthread is also active.
+    pub smt_extra_w: f64,
+    /// Energy per LLC access, joules (≈ 1.2 nJ).
+    pub llc_access_j: f64,
+    /// Energy per DRAM line transfer, joules (≈ 25 nJ) — off-socket, so it
+    /// counts toward wall energy only.
+    pub dram_line_j: f64,
+    /// Rest-of-system power (board, disk, fans), watts.
+    pub system_base_w: f64,
+    /// Power-supply efficiency (wall = (socket + dram + system) / eff).
+    pub psu_efficiency: f64,
+}
+
+impl PowerModel {
+    /// The default platform model.
+    pub fn sandy_bridge() -> Self {
+        PowerModel {
+            socket_idle_w: 14.0,
+            core_active_w: 5.5,
+            smt_extra_w: 1.2,
+            llc_access_j: 1.2e-9,
+            dram_line_j: 25e-9,
+            system_base_w: 28.0,
+            psu_efficiency: 0.85,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive powers or an efficiency outside (0, 1].
+    pub fn validate(&self) {
+        assert!(self.socket_idle_w > 0.0 && self.core_active_w > 0.0);
+        assert!(self.smt_extra_w >= 0.0);
+        assert!(self.llc_access_j >= 0.0 && self.dram_line_j >= 0.0);
+        assert!(self.system_base_w >= 0.0);
+        assert!(self.psu_efficiency > 0.0 && self.psu_efficiency <= 1.0);
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::sandy_bridge()
+    }
+}
+
+/// Accumulated energy, split the way the paper reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// RAPL-analog socket energy (cores + private caches + LLC), joules.
+    pub socket_j: f64,
+    /// DRAM energy, joules.
+    pub dram_j: f64,
+    /// Wall-socket energy (socket + DRAM + system, over PSU efficiency).
+    pub wall_j: f64,
+    /// Seconds integrated.
+    pub seconds: f64,
+}
+
+impl EnergyBreakdown {
+    /// Element-wise sum.
+    pub fn merge(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            socket_j: self.socket_j + other.socket_j,
+            dram_j: self.dram_j + other.dram_j,
+            wall_j: self.wall_j + other.wall_j,
+            seconds: self.seconds + other.seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        PowerModel::sandy_bridge().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_efficiency_rejected() {
+        let mut m = PowerModel::sandy_bridge();
+        m.psu_efficiency = 1.5;
+        m.validate();
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = EnergyBreakdown { socket_j: 1.0, dram_j: 2.0, wall_j: 5.0, seconds: 0.5 };
+        let m = a.merge(&a);
+        assert_eq!(m.socket_j, 2.0);
+        assert_eq!(m.wall_j, 10.0);
+        assert_eq!(m.seconds, 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ad-hoc diagnostics for calibration (not part of the reproduction).
+
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::policy::PartitionPolicy;
+use waypart_core::runner::{Runner, RunnerConfig};
+use waypart_workloads::registry;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "dynamic".into());
+    let runner = Runner::new(RunnerConfig::test());
+    match which.as_str() {
+        "dynamic" => {
+            let fg_name = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
+            let bg_name = std::env::args().nth(3).unwrap_or_else(|| "swaptions".into());
+            let fg = registry::by_name(&fg_name).unwrap();
+            let bg = registry::by_name(&bg_name).unwrap();
+            let res = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
+            println!("fg_cycles {} reallocs {}", res.fg_cycles, res.reallocations);
+            println!("ways trace: {:?}", res.fg_ways_trace.iter().map(|p| p.1).collect::<Vec<_>>());
+            println!("windows ({}):", res.fg_mpki.len());
+            for (i, (instr, mpki)) in res.fg_mpki.points().iter().enumerate() {
+                println!("  w{i:3} instr {instr:>10} mpki {mpki:8.2}");
+            }
+        }
+        "energy" => {
+            for (a, b) in [("429.mcf", "429.mcf"), ("429.mcf", "459.GemsFDTD"), ("459.GemsFDTD", "459.GemsFDTD")] {
+                let fg = registry::by_name(a).unwrap();
+                let bg = registry::by_name(b).unwrap();
+                let sa = runner.run_solo(&fg, 8, 12);
+                let sb = runner.run_solo(&bg, 8, 12);
+                for ways in [3, 6, 9] {
+                    let both = runner.run_pair_both_once(&fg, &bg, PartitionPolicy::Biased { fg_ways: ways });
+                    println!(
+                        "{a}+{b} fg_ways {ways}: seq cycles {} conc {} (fg {} bg {}), seq J {:.3} conc J {:.3} rel {:.3}",
+                        sa.cycles + sb.cycles,
+                        both.total_cycles,
+                        both.fg_cycles,
+                        both.bg_cycles,
+                        sa.energy.socket_j + sb.energy.socket_j,
+                        both.energy.socket_j,
+                        both.energy.socket_j / (sa.energy.socket_j + sb.energy.socket_j)
+                    );
+                }
+            }
+        }
+        "solo" => {
+            let name = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
+            let app = registry::by_name(&name).unwrap();
+            for ways in 1..=12 {
+                let r = runner.run_solo(&app, 4, ways);
+                println!(
+                    "{name} ways {ways:>2}: cycles {:>12} mpki {:>7.2} apki {:>7.2} ipc {:.3}",
+                    r.cycles,
+                    r.counters.mpki(),
+                    r.counters.apki(),
+                    r.counters.ipc()
+                );
+            }
+        }
+        "sweep" => {
+            let a = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
+            let b = std::env::args().nth(3).unwrap_or_else(|| "429.mcf".into());
+            let fg = registry::by_name(&a).unwrap();
+            let bg = registry::by_name(&b).unwrap();
+            let solo = runner.run_solo(&fg, 4, 12).cycles;
+            let search = waypart_core::static_search::best_biased(&runner, &fg, &bg, solo);
+            for (w, s) in &search.slowdowns {
+                println!("fg_ways {w:>2}: slowdown {s:.4}");
+            }
+            println!("winner: {} ways", search.fg_ways);
+        }
+        "fig11" => {
+            use waypart_experiments::{fig10, fig11, fig9, Lab};
+            let lab = Lab::new(RunnerConfig::test());
+            let f9 = fig9::run(&lab);
+            let f10 = fig10::run(&lab, &f9);
+            let f11 = fig11::run(&f10);
+            for (i, c) in f11.cells.iter().enumerate() {
+                let ways = f9
+                    .cell(&c.a, &c.b)
+                    .map(|x| x.biased_ways)
+                    .unwrap_or(0);
+                println!(
+                    "{:>2} {:<14}+{:<14} shared {:.3} fair {:.3} biased {:.3} (fg_ways {})",
+                    i, c.a, c.b, c.shared, c.fair, c.biased, ways
+                );
+            }
+            let (s, f, b) = f11.stats();
+            println!("avg shared {:.3} fair {:.3} biased {:.3}", s.mean, f.mean, b.mean);
+        }
+        "fig13" => {
+            use waypart_experiments::{fig13, fig9, Lab};
+            let lab = Lab::new(RunnerConfig::test());
+            let f9 = fig9::run(&lab);
+            let f13 = fig13::run(&lab, &f9);
+            for c in &f13.cells {
+                let ways = f9.cell(&c.fg, &c.bg).map(|x| x.biased_ways).unwrap_or(0);
+                println!(
+                    "{:<14} + {:<14} dyn {:.2}x shared {:.2}x fg_pen {:+.1}% (static fg_ways {})",
+                    c.fg,
+                    c.bg,
+                    c.dynamic,
+                    c.shared,
+                    (c.dynamic_fg_penalty - 1.0) * 100.0,
+                    ways
+                );
+            }
+            let (d, s) = f13.stats();
+            println!("avg dynamic {:.2}x shared {:.2}x", d.mean, s.mean);
+        }
+        other => eprintln!("unknown probe {other}"),
+    }
+}

@@ -1,0 +1,180 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--scale test|bench|full] [--out DIR] [ARTIFACT...]
+//! ```
+//!
+//! `ARTIFACT` is any of `fig1 table1 fig2 table2 fig3 fig4 fig5 fig6 fig7
+//! fig8 fig9 fig10 fig11 fig12 fig13 headline` or `all` (default). Output
+//! goes to `DIR` (default `results/<scale>/`) as one text file per
+//! artifact, and to stdout.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use waypart_core::runner::RunnerConfig;
+use waypart_experiments::*;
+
+fn main() {
+    let mut scale = "test".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--help" | "-h" => {
+                println!("usage: reproduce [--scale test|bench|full] [--out DIR] [ARTIFACT...]");
+                return;
+            }
+            other => {
+                wanted.insert(other.to_string());
+            }
+        }
+    }
+    if wanted.is_empty() || wanted.contains("all") {
+        wanted = [
+            "fig1", "table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "ext_ucp", "ext_trio",
+            "ext_thresholds", "ext_coloring", "ext_qos", "ext_mba",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    let cfg = match scale.as_str() {
+        "test" => RunnerConfig::test(),
+        "bench" => RunnerConfig::bench(),
+        "full" => RunnerConfig::full(),
+        other => panic!("unknown scale {other} (use test|bench|full)"),
+    };
+    let out_dir = out.unwrap_or_else(|| PathBuf::from("results").join(&scale));
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let lab = Lab::new(cfg);
+    let started = std::time::Instant::now();
+    let mut emit = |name: &str, text: String| {
+        let path = out_dir.join(format!("{name}.txt"));
+        std::fs::write(&path, &text).expect("write artifact");
+        println!("\n=== {name} ({}s) ===\n{text}", started.elapsed().as_secs());
+    };
+
+    // Characterization chain (later artifacts reuse earlier data).
+    let needs_characterization = ["fig1", "table1", "table2", "fig5", "headline"]
+        .iter()
+        .any(|n| wanted.contains(*n))
+        || wanted.contains("fig3")
+        || wanted.contains("fig4");
+
+    let mut f1 = None;
+    let mut t2 = None;
+    let mut f3 = None;
+    let mut f4 = None;
+    if needs_characterization {
+        let fig1_data = fig1::run(&lab);
+        if wanted.contains("fig1") {
+            emit("fig1", fig1_data.render());
+        }
+        if wanted.contains("table1") {
+            let t1 = table1::run(&lab, &fig1_data);
+            emit("table1", t1.render());
+        }
+        let table2_data = table2::run(&lab);
+        if wanted.contains("table2") {
+            emit("table2", table2_data.render());
+            let at_1mb = table2_data.fraction_satisfied_at(1.0 / 6.0);
+            let at_3mb = table2_data.fraction_satisfied_at(0.5);
+            emit(
+                "table2_capacity_stats",
+                format!(
+                    "apps within 2% of peak at 1/6 LLC: {:.0}% (paper: 44%)\napps within 2% of peak at 1/2 LLC: {:.0}% (paper: 78%)\n",
+                    at_1mb * 100.0,
+                    at_3mb * 100.0
+                ),
+            );
+        }
+        let fig3_data = fig3::run(&lab);
+        if wanted.contains("fig3") {
+            emit("fig3", fig3_data.render());
+        }
+        let fig4_data = fig4::run(&lab);
+        if wanted.contains("fig4") {
+            emit("fig4", fig4_data.render());
+        }
+        if wanted.contains("fig5") {
+            let f5 = fig5::run(&fig1_data, &table2_data, &fig3_data, &fig4_data);
+            emit("fig5", f5.render());
+        }
+        f1 = Some(fig1_data);
+        t2 = Some(table2_data);
+        f3 = Some(fig3_data);
+        f4 = Some(fig4_data);
+    }
+    let _ = (f1, t2, f3, f4);
+
+    if wanted.contains("fig2") {
+        emit("fig2", fig2::run(&lab).render());
+    }
+    if wanted.contains("fig6") || wanted.contains("fig7") {
+        let f6 = fig6::run(&lab);
+        if wanted.contains("fig6") {
+            emit("fig6", f6.render());
+        }
+        if wanted.contains("fig7") {
+            emit("fig7", fig7::run(&f6).render());
+        }
+    }
+    if wanted.contains("fig8") {
+        emit("fig8", fig8::run(&lab).render());
+    }
+
+    let needs_pairs = ["fig9", "fig10", "fig11", "fig13", "headline"]
+        .iter()
+        .any(|n| wanted.contains(*n));
+    if needs_pairs {
+        let f9 = fig9::run(&lab);
+        if wanted.contains("fig9") {
+            emit("fig9", f9.render());
+        }
+        let f10 = fig10::run(&lab, &f9);
+        if wanted.contains("fig10") {
+            emit("fig10", f10.render());
+        }
+        let f11 = fig11::run(&f10);
+        if wanted.contains("fig11") {
+            emit("fig11", f11.render());
+        }
+        let f13 = fig13::run(&lab, &f9);
+        if wanted.contains("fig13") {
+            emit("fig13", f13.render());
+        }
+        if wanted.contains("headline") {
+            let h = headline::run(&f9, &f10, &f11, &f13);
+            emit("headline", h.render());
+        }
+    }
+    if wanted.contains("fig12") {
+        emit("fig12", fig12::run(&lab).render());
+    }
+    if wanted.contains("ext_ucp") {
+        emit("ext_ucp", ext_ucp::run(&lab).render());
+    }
+    if wanted.contains("ext_trio") {
+        emit("ext_trio", ext_trio::run(&lab).render());
+    }
+    if wanted.contains("ext_thresholds") {
+        emit("ext_thresholds", ext_thresholds::run(&lab).render());
+    }
+    if wanted.contains("ext_coloring") {
+        emit("ext_coloring", ext_coloring::run(&lab).render());
+    }
+    if wanted.contains("ext_qos") {
+        emit("ext_qos", ext_qos::run(&lab).render());
+    }
+    if wanted.contains("ext_mba") {
+        emit("ext_mba", ext_mba::run(&lab).render());
+    }
+
+    println!("\ndone in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
+}

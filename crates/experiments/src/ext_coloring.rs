@@ -1,0 +1,139 @@
+//! Extension experiment — page coloring vs. hardware way partitioning.
+//!
+//! The paper's §7 discusses OS page coloring (Cho & Jin; Tam et al.; Lin
+//! et al.) as the software alternative to its hardware mechanism, noting
+//! "a significant performance overhead inherent to changing the color of
+//! a page" while "our approach can change LLC partitions much more
+//! quickly and with minimal overhead". This experiment compares the two
+//! mechanisms on the same pair at matched capacity fractions, and accounts
+//! the repartitioning cost of each.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_core::policy::PartitionPolicy;
+use waypart_core::runner::{Runner, RunnerConfig};
+use waypart_sim::coloring::ColorAssignment;
+
+/// The pair compared (capacity-sensitive foreground, thrashing
+/// background).
+pub const PAIR: (&str, &str) = ("471.omnetpp", "canneal");
+
+/// Per-line page-copy cost in cycles: copying a 4 KB page ≈ 64 lines
+/// through the hierarchy at ~16 cycles per line, amortized per line.
+pub const RECOLOR_CYCLES_PER_LINE: u64 = 16;
+
+/// One capacity split's comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColoringCell {
+    /// Foreground share of the cache (fraction of ways/groups).
+    pub fg_fraction: f64,
+    /// Foreground slowdown under way partitioning.
+    pub way_slowdown: f64,
+    /// Foreground slowdown under page coloring.
+    pub color_slowdown: f64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtColoring {
+    /// One cell per matched capacity split.
+    pub cells: Vec<ColoringCell>,
+    /// Modeled cost (cycles) of one full repartition under coloring — the
+    /// foreground's resident lines must be physically copied.
+    pub recolor_cost_cycles: u64,
+    /// Cost of one repartition under way masks (an MSR write).
+    pub way_repartition_cost_cycles: u64,
+}
+
+/// Runs the mechanism comparison. Uses its own modulo-indexed runner
+/// (coloring cannot work on the hashed LLC) so way and color runs see the
+/// same indexing.
+pub fn run(lab: &Lab) -> ExtColoring {
+    let _ = lab; // signature kept uniform with the other experiments
+    let runner = Runner::new(RunnerConfig::test_colored());
+    let fg = waypart_workloads::registry::by_name(PAIR.0).expect("registered");
+    let bg = waypart_workloads::registry::by_name(PAIR.1).expect("registered");
+    let solo = runner.run_solo(&fg, 4, 12).cycles as f64;
+
+    // Matched splits: fg gets 1/4, 1/2, 3/4 of the cache either way.
+    let splits: Vec<(usize, usize)> = vec![(3, 4), (6, 8), (9, 12)]; // (ways of 12, groups of 16)
+    let cells = parallel_map(splits, |&(ways, groups)| {
+        let way = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: ways });
+        let color = runner.run_pair_colored(&fg, &bg, groups);
+        assert!(!way.truncated && !color.truncated, "coloring comparison truncated");
+        ColoringCell {
+            fg_fraction: ways as f64 / 12.0,
+            way_slowdown: way.fg_cycles as f64 / solo,
+            color_slowdown: color.fg_cycles as f64 / solo,
+        }
+    });
+
+    // Repartition cost: coloring must copy the foreground's resident
+    // footprint to frames of the new colors; a way mask is one MSR write.
+    let llc_lines =
+        (runner.config().machine.llc.size_bytes / runner.config().machine.line_bytes) as u64;
+    let resident = llc_lines / 2; // half the LLC as a representative footprint
+    let recolor_cost_cycles = resident * RECOLOR_CYCLES_PER_LINE;
+    let _ = ColorAssignment::DEFAULT_GROUPS;
+
+    ExtColoring { cells, recolor_cost_cycles, way_repartition_cost_cycles: 1 }
+}
+
+impl ExtColoring {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["fg share", "way-partitioned", "page-colored"]);
+        for c in &self.cells {
+            t.push([
+                format!("{:.0}%", c.fg_fraction * 100.0),
+                format!("{:+.1}%", (c.way_slowdown - 1.0) * 100.0),
+                format!("{:+.1}%", (c.color_slowdown - 1.0) * 100.0),
+            ]);
+        }
+        format!(
+            "Extension: way partitioning vs page coloring (pair {}+{})\n{}\nrepartition cost: coloring ≈ {} cycles (page copies), way mask = {} cycle (MSR write)\n",
+            PAIR.0,
+            PAIR.1,
+            t.render(),
+            self.recolor_cost_cycles,
+            self.way_repartition_cost_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig as RC;
+
+    #[test]
+    fn both_mechanisms_isolate_but_recoloring_costs_more() {
+        let lab = Lab::new(RC::test());
+        let ext = run(&lab);
+        assert_eq!(ext.cells.len(), 3);
+        for c in &ext.cells {
+            // Both mechanisms must deliver real isolation: bounded fg
+            // slowdown at the generous split.
+            if c.fg_fraction > 0.7 {
+                assert!(c.way_slowdown < 1.30, "way split failed to isolate: {:.3}", c.way_slowdown);
+                assert!(c.color_slowdown < 1.35, "coloring failed to isolate: {:.3}", c.color_slowdown);
+            }
+        }
+        // The §7 asymmetry: repartitioning by recoloring is orders of
+        // magnitude costlier than a way-mask write.
+        assert!(ext.recolor_cost_cycles > 1000 * ext.way_repartition_cost_cycles);
+    }
+
+    #[test]
+    fn coloring_requires_modulo_indexing() {
+        // The default (hashed) machine must refuse to enable coloring —
+        // the Sandy Bridge hash is exactly why coloring stopped working.
+        let result = std::panic::catch_unwind(|| {
+            let mut m = waypart_sim::Machine::new(RC::test().machine);
+            m.enable_coloring(16);
+        });
+        assert!(result.is_err(), "coloring on a hashed LLC must be rejected");
+    }
+}

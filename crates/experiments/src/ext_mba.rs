@@ -1,0 +1,120 @@
+//! Extension experiment — the paper's §8 future work, realized.
+//!
+//! "All of the worst-case foreground slowdowns with cache partitioning
+//! (and without) were from the applications shown to be the most sensitive
+//! to memory bandwidth. […] partitioning or other quality-of-service
+//! mechanisms for memory bandwidth could potentially be a further
+//! effective hardware addition." Intel later shipped that knob as Memory
+//! Bandwidth Allocation; this experiment adds it to the simulated machine
+//! and shows it closing exactly the residual gap the paper identified:
+//! with the background's bandwidth throttled, even the bandwidth-sensitive
+//! foregrounds approach their solo performance.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_core::policy::PartitionPolicy;
+
+/// Bandwidth-sensitive foregrounds — the paper's residual worst cases.
+pub const FOREGROUNDS: [&str; 2] = ["462.libquantum", "459.GemsFDTD"];
+/// The bandwidth hog runs behind them.
+pub const BACKGROUND: &str = "stream_uncached";
+
+/// MBA throttle levels swept (percent of full background bandwidth).
+pub const THROTTLES: [u8; 4] = [100, 50, 25, 10];
+
+/// One (foreground, throttle) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MbaCell {
+    /// Foreground application.
+    pub fg: String,
+    /// Background bandwidth throttle (percent).
+    pub throttle: u8,
+    /// Foreground slowdown vs. solo (LLC biased 9/3 throughout, so only
+    /// the bandwidth knob varies).
+    pub fg_slowdown: f64,
+    /// Background throughput (instructions per cycle).
+    pub bg_rate: f64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtMba {
+    /// All cells.
+    pub cells: Vec<MbaCell>,
+}
+
+/// Runs the throttle sweep.
+pub fn run(lab: &Lab) -> ExtMba {
+    let bg = lab.app(BACKGROUND).clone();
+    let jobs: Vec<(usize, u8)> =
+        (0..FOREGROUNDS.len()).flat_map(|f| THROTTLES.map(move |t| (f, t))).collect();
+    let cells = parallel_map(jobs, |&(f, throttle)| {
+        let fg = lab.app(FOREGROUNDS[f]).clone();
+        let solo = lab.pair_baseline(&fg).cycles as f64;
+        let r = lab.runner().run_pair_mba(&fg, &bg, PartitionPolicy::Biased { fg_ways: 9 }, throttle);
+        assert!(!r.truncated, "MBA run truncated");
+        MbaCell {
+            fg: fg.name.to_string(),
+            throttle,
+            fg_slowdown: r.fg_cycles as f64 / solo,
+            bg_rate: r.bg_rate,
+        }
+    });
+    ExtMba { cells }
+}
+
+impl ExtMba {
+    /// The cell for (fg, throttle).
+    pub fn cell(&self, fg: &str, throttle: u8) -> Option<&MbaCell> {
+        self.cells.iter().find(|c| c.fg == fg && c.throttle == throttle)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["fg", "bg bandwidth", "fg slowdown", "bg rate"]);
+        for c in &self.cells {
+            t.push([
+                c.fg.clone(),
+                format!("{}%", c.throttle),
+                format!("{:+.1}%", (c.fg_slowdown - 1.0) * 100.0),
+                format!("{:.4}", c.bg_rate),
+            ]);
+        }
+        format!(
+            "Extension (§8 future work): bandwidth QoS closes the residual gap (bg = {BACKGROUND}, LLC biased 9/3)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn throttling_the_hog_protects_bandwidth_sensitive_foregrounds() {
+        let lab = Lab::new(RunnerConfig::test());
+        let ext = run(&lab);
+        for fg in FOREGROUNDS {
+            let open = ext.cell(fg, 100).unwrap();
+            let tight = ext.cell(fg, 10).unwrap();
+            assert!(
+                tight.fg_slowdown < open.fg_slowdown - 0.02,
+                "{fg}: throttling should help ({:.3} vs {:.3})",
+                tight.fg_slowdown,
+                open.fg_slowdown
+            );
+            // At 10% background bandwidth the foreground approaches solo.
+            assert!(
+                tight.fg_slowdown < 1.25,
+                "{fg}: residual slowdown {:.3} despite full QoS",
+                tight.fg_slowdown
+            );
+            // The knob costs the background, as a QoS knob must.
+            assert!(tight.bg_rate < open.bg_rate);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Extension experiment — the SLO dial: IPC-floor QoS targets.
+//!
+//! The refs-[20][26] policy family guarantees a minimum foreground
+//! performance and donates the rest of the cache. Sweeping the guaranteed
+//! fraction turns responsiveness into a dial: tighter targets keep the
+//! foreground closer to solo speed and leave the background less; looser
+//! targets trade the other way — quantifying the continuum between the
+//! paper's foreground-first controller and throughput-first UCP.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_core::qos::QosConfig;
+
+/// The pair exercised (capacity-sensitive foreground, cache-hungry
+/// background).
+pub const PAIR: (&str, &str) = ("471.omnetpp", "canneal");
+
+/// QoS targets swept (fraction of uncontended IPC guaranteed).
+pub const TARGETS: [f64; 4] = [0.85, 0.90, 0.95, 0.99];
+
+/// One target's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosCell {
+    /// Guaranteed fraction of solo IPC.
+    pub target: f64,
+    /// Achieved foreground slowdown vs. solo.
+    pub fg_slowdown: f64,
+    /// Background throughput (instructions per cycle).
+    pub bg_rate: f64,
+    /// Reallocations performed.
+    pub reallocations: u64,
+}
+
+/// The sweep's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtQos {
+    /// One cell per target, ascending.
+    pub cells: Vec<QosCell>,
+}
+
+/// Runs the target sweep.
+pub fn run(lab: &Lab) -> ExtQos {
+    let fg = lab.app(PAIR.0).clone();
+    let bg = lab.app(PAIR.1).clone();
+    let solo = lab.pair_baseline(&fg).cycles as f64;
+    let cells = parallel_map(TARGETS.to_vec(), |&target| {
+        let mut cfg = QosConfig::guarantee_95();
+        cfg.target = target;
+        let r = lab.runner().run_pair_qos(&fg, &bg, cfg);
+        assert!(!r.truncated, "QoS run truncated at target {target}");
+        QosCell {
+            target,
+            fg_slowdown: r.fg_cycles as f64 / solo,
+            bg_rate: r.bg_rate,
+            reallocations: r.reallocations,
+        }
+    });
+    ExtQos { cells }
+}
+
+impl ExtQos {
+    /// Renders the dial.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["IPC floor", "fg slowdown", "bg rate", "reallocations"]);
+        for c in &self.cells {
+            t.push([
+                format!("{:.0}%", c.target * 100.0),
+                format!("{:+.1}%", (c.fg_slowdown - 1.0) * 100.0),
+                format!("{:.4}", c.bg_rate),
+                c.reallocations.to_string(),
+            ]);
+        }
+        format!("Extension: IPC-floor QoS dial (pair {}+{})\n{}", PAIR.0, PAIR.1, t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn tighter_floors_protect_the_foreground_more() {
+        let lab = Lab::new(RunnerConfig::test());
+        let ext = run(&lab);
+        let loose = &ext.cells[0]; // 85%
+        let tight = &ext.cells[3]; // 99%
+        assert!(
+            tight.fg_slowdown <= loose.fg_slowdown + 0.02,
+            "99% floor ({:.3}) should protect at least as well as 85% ({:.3})",
+            tight.fg_slowdown,
+            loose.fg_slowdown
+        );
+        // The controllers actually act.
+        assert!(ext.cells.iter().any(|c| c.reallocations > 0));
+    }
+}

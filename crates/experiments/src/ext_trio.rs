@@ -1,0 +1,112 @@
+//! Extension experiment — §5.2's multiple-background-copies case.
+//!
+//! "We also examined more extreme cases with one foreground application
+//! and two or more copies of the background applications continuously
+//! running. However, adding additional applications only further increased
+//! contention for cache capacity and DRAM bandwidth. As expected the
+//! benchmarks already experiencing degradation with one background
+//! application, slowed down further when more were added." This experiment
+//! reproduces that observation and shows partitioning still bounding the
+//! damage.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_core::policy::PartitionPolicy;
+
+/// Foregrounds used: one bandwidth-sensitive, one capacity-sensitive, one
+/// insensitive — the three §5.1 sensitivity archetypes.
+pub const FOREGROUNDS: [&str; 3] = ["462.libquantum", "471.omnetpp", "swaptions"];
+/// Background whose copy count scales.
+pub const BACKGROUND: &str = "canneal";
+
+/// One (foreground, copies, policy) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrioCell {
+    /// Foreground application.
+    pub fg: String,
+    /// Number of background copies (1 or 2).
+    pub copies: usize,
+    /// Foreground slowdown with no partitioning.
+    pub shared: f64,
+    /// Foreground slowdown with a biased 9/3 split.
+    pub biased: f64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtTrio {
+    /// All cells.
+    pub cells: Vec<TrioCell>,
+}
+
+/// Runs the copy-count sweep.
+pub fn run(lab: &Lab) -> ExtTrio {
+    let bg = lab.app(BACKGROUND).clone();
+    let jobs: Vec<(usize, usize)> =
+        (0..FOREGROUNDS.len()).flat_map(|f| [1usize, 2].map(move |c| (f, c))).collect();
+    let cells = parallel_map(jobs, |&(f, copies)| {
+        let fg = lab.app(FOREGROUNDS[f]).clone();
+        let solo = lab.pair_baseline(&fg).cycles as f64;
+        let shared = lab.runner().run_pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Shared);
+        let biased =
+            lab.runner().run_pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Biased { fg_ways: 9 });
+        assert!(!shared.truncated && !biased.truncated, "{} truncated", fg.name);
+        TrioCell {
+            fg: fg.name.to_string(),
+            copies,
+            shared: shared.fg_cycles as f64 / solo,
+            biased: biased.fg_cycles as f64 / solo,
+        }
+    });
+    ExtTrio { cells }
+}
+
+impl ExtTrio {
+    /// The cell for (fg, copies).
+    pub fn cell(&self, fg: &str, copies: usize) -> Option<&TrioCell> {
+        self.cells.iter().find(|c| c.fg == fg && c.copies == copies)
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["fg", "bg copies", "shared", "biased 9/3"]);
+        for c in &self.cells {
+            t.push([
+                c.fg.clone(),
+                c.copies.to_string(),
+                format!("{:.3}x", c.shared),
+                format!("{:.3}x", c.biased),
+            ]);
+        }
+        format!("Extension: foreground slowdown vs background copy count (bg = {BACKGROUND})\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn more_copies_mean_more_degradation_for_sensitive_fg() {
+        let lab = Lab::new(RunnerConfig::test());
+        let ext = run(&lab);
+        // §5.2: already-degraded foregrounds slow down further with a
+        // second background copy.
+        let one = ext.cell("471.omnetpp", 1).unwrap();
+        let two = ext.cell("471.omnetpp", 2).unwrap();
+        assert!(
+            two.shared >= one.shared - 0.01,
+            "omnetpp should not improve with more co-runners: {:.3} vs {:.3}",
+            two.shared,
+            one.shared
+        );
+        // Partitioning still bounds the capacity side of the damage.
+        assert!(two.biased <= two.shared + 0.01, "biased {:.3} worse than shared {:.3}", two.biased, two.shared);
+        // The insensitive archetype stays insensitive.
+        let sw = ext.cell("swaptions", 2).unwrap();
+        assert!(sw.shared < 1.10, "swaptions slowed {:.3} under two canneal copies", sw.shared);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extension experiment — UCP baseline vs. the paper's controller.
+//!
+//! The paper's §7 positions utility-based cache partitioning (UCP) as
+//! prior simulation-only work needing monitoring hardware that "will not
+//! work on current processors". This experiment runs both controllers on
+//! the same co-schedules and quantifies the trade-off the paper implies:
+//!
+//! * **UCP** maximizes total hits → better *combined* throughput;
+//! * **Algorithm 6.2** protects the foreground first → better worst-case
+//!   responsiveness.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::SummaryStats;
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::ucp::UcpConfig;
+use waypart_workloads::registry::CLUSTER_REPRESENTATIVES;
+
+/// One ordered pair's controller comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UcpCell {
+    /// Foreground application.
+    pub fg: String,
+    /// Background application (continuously running).
+    pub bg: String,
+    /// Foreground slowdown under the paper's dynamic controller.
+    pub dynamic_fg_slowdown: f64,
+    /// Foreground slowdown under UCP.
+    pub ucp_fg_slowdown: f64,
+    /// Combined instruction throughput (fg+bg instr / cycle), dynamic.
+    pub dynamic_combined_ipc: f64,
+    /// Combined instruction throughput, UCP.
+    pub ucp_combined_ipc: f64,
+    /// UCP repartitions performed.
+    pub ucp_repartitions: u64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtUcp {
+    /// All ordered pairs.
+    pub cells: Vec<UcpCell>,
+}
+
+/// Compares both controllers over ordered pairs of `names`.
+pub fn run_for(lab: &Lab, names: &[&str]) -> ExtUcp {
+    let specs: Vec<_> = names.iter().map(|n| lab.app(n).clone()).collect();
+    let baselines = parallel_map((0..specs.len()).collect(), |&i| lab.pair_baseline(&specs[i]).cycles);
+    let jobs: Vec<(usize, usize)> =
+        (0..specs.len()).flat_map(|f| (0..specs.len()).map(move |b| (f, b))).collect();
+    let cells = parallel_map(jobs, |&(f, b)| {
+        let fg = &specs[f];
+        let bg = &specs[b];
+        let dynamic = lab.runner().run_pair_dynamic(fg, bg, DynamicConfig::paper());
+        let ucp = lab.runner().run_pair_ucp(fg, bg, UcpConfig::default_12way());
+        assert!(!dynamic.truncated && !ucp.truncated, "{}+{} truncated", fg.name, bg.name);
+        let combined = |r: &waypart_core::runner::PairResult| {
+            (r.fg_counters.instructions + r.bg_instructions) as f64 / r.fg_cycles.max(1) as f64
+        };
+        UcpCell {
+            fg: fg.name.to_string(),
+            bg: bg.name.to_string(),
+            dynamic_fg_slowdown: dynamic.fg_cycles as f64 / baselines[f] as f64,
+            ucp_fg_slowdown: ucp.fg_cycles as f64 / baselines[f] as f64,
+            dynamic_combined_ipc: combined(&dynamic),
+            ucp_combined_ipc: combined(&ucp),
+            ucp_repartitions: ucp.reallocations,
+        }
+    });
+    ExtUcp { cells }
+}
+
+/// Runs the six cluster representatives.
+pub fn run(lab: &Lab) -> ExtUcp {
+    run_for(lab, &CLUSTER_REPRESENTATIVES)
+}
+
+impl ExtUcp {
+    /// (dynamic, ucp) foreground-slowdown summaries.
+    pub fn fg_stats(&self) -> (SummaryStats, SummaryStats) {
+        (
+            SummaryStats::from_values(self.cells.iter().map(|c| c.dynamic_fg_slowdown)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.ucp_fg_slowdown)),
+        )
+    }
+
+    /// (dynamic, ucp) combined-IPC summaries.
+    pub fn ipc_stats(&self) -> (SummaryStats, SummaryStats) {
+        (
+            SummaryStats::from_values(self.cells.iter().map(|c| c.dynamic_combined_ipc)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.ucp_combined_ipc)),
+        )
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["fg", "bg", "dyn fg slow", "ucp fg slow", "dyn IPC", "ucp IPC", "ucp reparts"]);
+        for c in &self.cells {
+            t.push([
+                c.fg.clone(),
+                c.bg.clone(),
+                format!("{:+.1}%", (c.dynamic_fg_slowdown - 1.0) * 100.0),
+                format!("{:+.1}%", (c.ucp_fg_slowdown - 1.0) * 100.0),
+                format!("{:.3}", c.dynamic_combined_ipc),
+                format!("{:.3}", c.ucp_combined_ipc),
+                c.ucp_repartitions.to_string(),
+            ]);
+        }
+        let (dfg, ufg) = self.fg_stats();
+        let (dipc, uipc) = self.ipc_stats();
+        format!(
+            "Extension: UCP baseline vs Algorithm 6.2\n{}\nfg slowdown — dynamic {dfg}; ucp {ufg}\ncombined IPC — dynamic {:.3}, ucp {:.3}\n",
+            t.render(),
+            dipc.mean,
+            uipc.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn ucp_trades_fg_protection_for_throughput() {
+        let lab = Lab::new(RunnerConfig::test());
+        // A capacity-sensitive foreground and a cache-hungry background:
+        // exactly where the two objectives diverge.
+        let ext = run_for(&lab, &["429.mcf", "471.omnetpp"]);
+        let cell = ext.cells.iter().find(|c| c.fg == "429.mcf" && c.bg == "471.omnetpp").unwrap();
+        assert!(cell.ucp_repartitions > 0, "UCP never repartitioned");
+        // The paper's controller must protect the foreground at least as
+        // well as the throughput-first baseline.
+        assert!(
+            cell.dynamic_fg_slowdown <= cell.ucp_fg_slowdown + 0.02,
+            "dynamic fg {:.3} worse than UCP {:.3}",
+            cell.dynamic_fg_slowdown,
+            cell.ucp_fg_slowdown
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 1 — normalized speedup as each application's thread allocation
+//! grows from 1 to 8 (hyperthread pairs first).
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_workloads::Suite;
+
+/// One application's scalability curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityCurve {
+    /// Application name.
+    pub app: String,
+    /// Suite membership.
+    pub suite: Suite,
+    /// `speedups[i]` = speedup with `i + 1` threads (index 0 is 1.0).
+    pub speedups: Vec<f64>,
+}
+
+/// The figure's data: one curve per application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// Curves in registry order.
+    pub curves: Vec<ScalabilityCurve>,
+}
+
+/// Maximum thread allocation measured (the machine's 8 hyperthreads).
+pub const MAX_THREADS: usize = 8;
+
+/// Measures the scalability curves for the named applications (or all 45
+/// when `names` is `None`).
+pub fn run_subset(lab: &Lab, names: Option<&[&str]>) -> Fig1 {
+    let apps: Vec<_> = match names {
+        Some(ns) => ns.iter().map(|n| lab.app(n).clone()).collect(),
+        None => lab.apps().to_vec(),
+    };
+    let ways = lab.runner().config().machine.llc.ways;
+    let jobs: Vec<(usize, usize)> =
+        (0..apps.len()).flat_map(|a| (1..=MAX_THREADS).map(move |t| (a, t))).collect();
+    let times = parallel_map(jobs.clone(), |&(a, t)| lab.solo(&apps[a], t, ways).cycles);
+    let mut by_app: Vec<Vec<u64>> = vec![vec![0; MAX_THREADS]; apps.len()];
+    for (&(a, t), &cycles) in jobs.iter().zip(&times) {
+        by_app[a][t - 1] = cycles;
+    }
+    let curves = apps
+        .iter()
+        .zip(&by_app)
+        .map(|(app, times)| ScalabilityCurve {
+            app: app.name.to_string(),
+            suite: app.suite,
+            speedups: times.iter().map(|&t| times[0] as f64 / t as f64).collect(),
+        })
+        .collect();
+    Fig1 { curves }
+}
+
+/// Measures all 45 applications.
+pub fn run(lab: &Lab) -> Fig1 {
+    run_subset(lab, None)
+}
+
+impl Fig1 {
+    /// Renders the per-suite speedup table (the data behind Fig 1a–c).
+    pub fn render(&self) -> String {
+        let mut header = vec!["suite".to_string(), "app".to_string()];
+        header.extend((1..=MAX_THREADS).map(|t| format!("{t}T")));
+        let mut table = Table::new(header);
+        for c in &self.curves {
+            let mut row = vec![c.suite.label().to_string(), c.app.clone()];
+            row.extend(c.speedups.iter().map(|s| format!("{s:.2}")));
+            table.push(row);
+        }
+        format!("Figure 1: speedup vs threads (normalized to 1 thread)\n{}", table.render())
+    }
+
+    /// The curve for one application.
+    pub fn curve(&self, app: &str) -> Option<&ScalabilityCurve> {
+        self.curves.iter().find(|c| c.app == app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn scalable_app_scales_and_serial_app_does_not() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_subset(&lab, Some(&["blackscholes", "429.mcf"]));
+        let bs = fig.curve("blackscholes").unwrap();
+        assert!((bs.speedups[0] - 1.0).abs() < 1e-9);
+        assert!(bs.speedups[7] > 3.0, "blackscholes 8T speedup {}", bs.speedups[7]);
+        let mcf = fig.curve("429.mcf").unwrap();
+        assert!(mcf.speedups[7] < 1.2, "mcf should not scale, got {}", mcf.speedups[7]);
+        let text = fig.render();
+        assert!(text.contains("blackscholes") && text.contains("429.mcf"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 11 — weighted speedup of consolidation, derived from the same
+//! runs as Figure 10: time to run each pair sequentially on the whole
+//! machine over the time to run them concurrently.
+
+use crate::fig10::Fig10;
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::{weighted_speedup, SummaryStats};
+
+/// One pair's weighted speedups per policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Cell {
+    /// First application.
+    pub a: String,
+    /// Second application.
+    pub b: String,
+    /// Speedup with no partitioning.
+    pub shared: f64,
+    /// Speedup with the even split.
+    pub fair: f64,
+    /// Speedup with the best biased split.
+    pub biased: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// The 21 unordered pairs.
+    pub cells: Vec<Fig11Cell>,
+}
+
+/// Derives the weighted speedups from the Figure 10 runs.
+pub fn run(fig10: &Fig10) -> Fig11 {
+    let cells = fig10
+        .cells
+        .iter()
+        .map(|c| Fig11Cell {
+            a: c.a.clone(),
+            b: c.b.clone(),
+            shared: weighted_speedup(c.seq_cycles, 0, c.shared.1),
+            fair: weighted_speedup(c.seq_cycles, 0, c.fair.1),
+            biased: weighted_speedup(c.seq_cycles, 0, c.biased.1),
+        })
+        .collect();
+    Fig11 { cells }
+}
+
+impl Fig11 {
+    /// Summary per policy: (shared, fair, biased).
+    pub fn stats(&self) -> (SummaryStats, SummaryStats, SummaryStats) {
+        (
+            SummaryStats::from_values(self.cells.iter().map(|c| c.shared)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.fair)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.biased)),
+        )
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["pair", "shared", "fair", "biased"]);
+        for c in &self.cells {
+            table.push([
+                format!("{}+{}", c.a, c.b),
+                format!("{:.2}", c.shared),
+                format!("{:.2}", c.fair),
+                format!("{:.2}", c.biased),
+            ]);
+        }
+        let (s, f, b) = self.stats();
+        format!(
+            "Figure 11: weighted speedup vs sequential execution\n{}\naverages: shared {:.2}, fair {:.2}, biased {:.2}\n",
+            table.render(),
+            s.mean,
+            f.mean,
+            b.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Lab;
+    use crate::fig10;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn single_threaded_pairs_approach_2x() {
+        let lab = Lab::new(RunnerConfig::test());
+        let names = ["429.mcf", "459.GemsFDTD"];
+        let f10 = fig10::run_for(&lab, &names);
+        let f11 = run(&f10);
+        let cross = f11.cells.iter().find(|c| c.a != c.b).expect("cross pair");
+        assert!(
+            cross.biased > 1.3,
+            "two single-threaded apps should consolidate well, got {:.2}",
+            cross.biased
+        );
+        assert!(cross.biased <= 2.05, "speedup {:.2} beyond the theoretical bound", cross.biased);
+    }
+}

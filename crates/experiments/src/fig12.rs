@@ -1,0 +1,111 @@
+//! Figure 12 — `429.mcf`'s LLC MPKI over retired instructions for every
+//! static way allocation (2–12 ways) and for the dynamic controller.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_core::dynamic::DynamicConfig;
+use waypart_perfmon::MpkiSeries;
+
+/// Application traced (the paper's phase-change showcase).
+pub const APP: &str = "429.mcf";
+/// Background used for the dynamic trace (cache-insensitive so the trace
+/// reflects the controller, not background interference).
+pub const DYNAMIC_BG: &str = "swaptions";
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// (ways, MPKI series) for static allocations 2..=12.
+    pub static_series: Vec<(usize, MpkiSeries)>,
+    /// MPKI series under the dynamic controller.
+    pub dynamic_series: MpkiSeries,
+    /// The controller's foreground way allocation over time.
+    pub dynamic_ways: Vec<(u64, usize)>,
+    /// Mask reprogrammings the controller performed.
+    pub reallocations: u64,
+}
+
+/// Traces `429.mcf` under every static allocation and the controller.
+pub fn run(lab: &Lab) -> Fig12 {
+    let app = lab.app(APP).clone();
+    let bg = lab.app(DYNAMIC_BG).clone();
+    let ways_total = lab.runner().config().machine.llc.ways;
+    let static_series = parallel_map((2..=ways_total).collect(), |&w| {
+        let res = lab.solo(&app, 1, w);
+        (w, res.mpki.clone())
+    });
+    let dynamic = lab.runner().run_pair_dynamic(&app, &bg, DynamicConfig::paper());
+    assert!(!dynamic.truncated, "dynamic mcf run truncated");
+    Fig12 {
+        static_series,
+        dynamic_series: dynamic.fg_mpki,
+        dynamic_ways: dynamic.fg_ways_trace,
+        reallocations: dynamic.reallocations,
+    }
+}
+
+impl Fig12 {
+    /// The static series for a given way count.
+    pub fn series(&self, ways: usize) -> Option<&MpkiSeries> {
+        self.static_series.iter().find(|(w, _)| *w == ways).map(|(_, s)| s)
+    }
+
+    /// Regime transitions of the full-capacity trace (the paper's trace
+    /// shows 5).
+    pub fn transitions(&self) -> usize {
+        let full = self.static_series.last().expect("series").1.clone();
+        let mean = full.mean();
+        full.regime_transitions(mean, 2)
+    }
+
+    /// Renders a numeric summary: mean MPKI per allocation plus the
+    /// dynamic trace's statistics.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["allocation", "mean MPKI", "windows", "trace"]);
+        let spark = |s: &MpkiSeries| {
+            let vals: Vec<f64> = s.points().iter().map(|p| p.1).collect();
+            crate::viz::sparkline(&vals)
+        };
+        for (w, s) in &self.static_series {
+            table.push([format!("{w} ways"), format!("{:.2}", s.mean()), s.len().to_string(), spark(s)]);
+        }
+        table.push([
+            "dynamic".to_string(),
+            format!("{:.2}", self.dynamic_series.mean()),
+            self.dynamic_series.len().to_string(),
+            spark(&self.dynamic_series),
+        ]);
+        let ways: Vec<String> = self.dynamic_ways.iter().map(|(_, w)| w.to_string()).collect();
+        format!(
+            "Figure 12: 429.mcf MPKI phases ({} transitions at full capacity, {} reallocations)\n{}\ndynamic way trace: {}\n",
+            self.transitions(),
+            self.reallocations,
+            table.render(),
+            ways.join(" → ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn mcf_shows_phases_and_capacity_sensitivity() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run(&lab);
+        // More capacity → lower mean MPKI.
+        let small = fig.series(2).unwrap().mean();
+        let large = fig.series(12).unwrap().mean();
+        assert!(large < small, "MPKI should fall with capacity: {small:.1} → {large:.1}");
+        // The phase structure must be visible at full capacity: the paper
+        // shows 5 transitions; accept 3..=7 at test scale.
+        let t = fig.transitions();
+        assert!((3..=7).contains(&t), "expected ~5 regime transitions, saw {t}");
+        // The controller must have adapted at least once per phase change.
+        assert!(fig.reallocations >= 3, "only {} reallocations", fig.reallocations);
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 13 — background throughput under the dynamic controller and
+//! under naive sharing, both normalized to the best static allocation for
+//! the foreground.
+
+use crate::fig9::Fig9;
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::SummaryStats;
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::policy::PartitionPolicy;
+use waypart_workloads::registry::CLUSTER_REPRESENTATIVES;
+
+/// One ordered pair's throughput comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Cell {
+    /// Foreground application.
+    pub fg: String,
+    /// Background application.
+    pub bg: String,
+    /// Background rate under the best static split (instr/cycle).
+    pub best_static_rate: f64,
+    /// Background rate under the dynamic controller, relative to best
+    /// static.
+    pub dynamic: f64,
+    /// Background rate under naive sharing, relative to best static.
+    pub shared: f64,
+    /// Foreground slowdown under the dynamic controller relative to its
+    /// best-static slowdown (the "within 1–2%" guarantee).
+    pub dynamic_fg_penalty: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// All ordered pairs.
+    pub cells: Vec<Fig13Cell>,
+}
+
+/// Runs the dynamic-vs-static comparison, reusing Fig 9's biased search
+/// results as the "best static" baseline.
+pub fn run_for(lab: &Lab, names: &[&str], fig9: &Fig9) -> Fig13 {
+    let specs: Vec<_> = names.iter().map(|n| lab.app(n).clone()).collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..specs.len()).flat_map(|f| (0..specs.len()).map(move |b| (f, b))).collect();
+    let cells = parallel_map(jobs, |&(f, b)| {
+        let fg = &specs[f];
+        let bg = &specs[b];
+        let base = fig9.cell(fg.name, bg.name).expect("fig9 covers the pair");
+        let dynamic = lab.runner().run_pair_dynamic(fg, bg, DynamicConfig::paper());
+        let shared = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Shared);
+        assert!(!dynamic.truncated && !shared.truncated, "{}+{} truncated", fg.name, bg.name);
+        let solo = lab.pair_baseline(fg).cycles as f64;
+        let dynamic_slowdown = dynamic.fg_cycles as f64 / solo;
+        Fig13Cell {
+            fg: fg.name.to_string(),
+            bg: bg.name.to_string(),
+            best_static_rate: base.biased_bg_rate,
+            dynamic: dynamic.bg_rate / base.biased_bg_rate,
+            shared: shared.bg_rate / base.biased_bg_rate,
+            dynamic_fg_penalty: dynamic_slowdown / base.biased,
+        }
+    });
+    Fig13 { cells }
+}
+
+/// Runs the six cluster representatives (36 ordered pairs).
+pub fn run(lab: &Lab, fig9: &Fig9) -> Fig13 {
+    run_for(lab, &CLUSTER_REPRESENTATIVES, fig9)
+}
+
+impl Fig13 {
+    /// Summary of relative background throughput: (dynamic, shared).
+    pub fn stats(&self) -> (SummaryStats, SummaryStats) {
+        (
+            SummaryStats::from_values(self.cells.iter().map(|c| c.dynamic)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.shared)),
+        )
+    }
+
+    /// Summary of the dynamic controller's foreground penalty relative to
+    /// best static (the paper reports within 1–2%).
+    pub fn fg_penalty_stats(&self) -> SummaryStats {
+        SummaryStats::from_values(self.cells.iter().map(|c| c.dynamic_fg_penalty))
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["fg", "bg", "dynamic", "shared", "fg penalty"]);
+        for c in &self.cells {
+            table.push([
+                c.fg.clone(),
+                c.bg.clone(),
+                format!("{:.2}x", c.dynamic),
+                format!("{:.2}x", c.shared),
+                format!("{:+.1}%", (c.dynamic_fg_penalty - 1.0) * 100.0),
+            ]);
+        }
+        let (d, s) = self.stats();
+        format!(
+            "Figure 13: background throughput vs best static allocation\n{}\naverages: dynamic {:.2}x, shared {:.2}x; fg penalty {}\n",
+            table.render(),
+            d.mean,
+            s.mean,
+            self.fg_penalty_stats()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig9;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn dynamic_beats_best_static_on_background_throughput() {
+        let lab = Lab::new(RunnerConfig::test());
+        // mcf has phases: when its small-footprint phases run, the
+        // controller hands capacity to the background.
+        let names = ["429.mcf", "fop"];
+        let f9 = fig9::run_for(&lab, &names);
+        let f13 = run_for(&lab, &names, &f9);
+        let cell = f13.cells.iter().find(|c| c.fg == "429.mcf" && c.bg == "fop").unwrap();
+        assert!(
+            cell.dynamic > 0.95,
+            "dynamic bg throughput collapsed: {:.2}x of best static",
+            cell.dynamic
+        );
+        // Foreground protection: within a few percent of best static.
+        assert!(
+            cell.dynamic_fg_penalty < 1.10,
+            "dynamic fg penalty {:.3} too high",
+            cell.dynamic_fg_penalty
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 2 — execution time vs. allocated LLC capacity for the three
+//! sensitivity archetypes: `swaptions` (low utility), `tomcat` (saturated
+//! utility), `471.omnetpp` (high utility).
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+
+/// The three applications the paper plots.
+pub const FIG2_APPS: [&str; 3] = ["swaptions", "tomcat", "471.omnetpp"];
+
+/// Thread counts plotted per panel.
+pub const FIG2_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (app, threads) execution-time curve over way allocations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlcCurve {
+    /// Application name.
+    pub app: String,
+    /// Threads used.
+    pub threads: usize,
+    /// `times[i]` = cycles with `i + 1` LLC ways.
+    pub times: Vec<u64>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Curves for every (app, thread-count) combination.
+    pub curves: Vec<LlcCurve>,
+}
+
+/// Measures LLC-capacity curves for arbitrary applications/threads.
+pub fn run_for(lab: &Lab, apps: &[&str], thread_counts: &[usize]) -> Fig2 {
+    let ways_total = lab.runner().config().machine.llc.ways;
+    let specs: Vec<_> = apps.iter().map(|n| lab.app(n).clone()).collect();
+    let mut jobs = Vec::new();
+    for (a, spec) in specs.iter().enumerate() {
+        // Single-threaded apps get one curve, like the paper's omnetpp
+        // panel: dedupe requested thread counts by what the app can use.
+        let mut seen = Vec::new();
+        for &t in thread_counts {
+            let eff = spec.effective_threads(t);
+            if seen.contains(&eff) {
+                continue;
+            }
+            seen.push(eff);
+            for w in 1..=ways_total {
+                jobs.push((a, eff, w));
+            }
+        }
+    }
+    let times = parallel_map(jobs.clone(), |&(a, t, w)| lab.solo(&specs[a], t, w).cycles);
+    let mut curves: Vec<LlcCurve> = Vec::new();
+    for (&(a, t, w), &cycles) in jobs.iter().zip(&times) {
+        let name = specs[a].name.to_string();
+        if curves.last().map(|c| c.app != name || c.threads != t).unwrap_or(true) {
+            curves.push(LlcCurve { app: name, threads: t, times: Vec::new() });
+        }
+        let c = curves.last_mut().expect("just pushed");
+        debug_assert_eq!(c.times.len() + 1, w);
+        c.times.push(cycles);
+    }
+    Fig2 { curves }
+}
+
+/// Measures the paper's three representative applications.
+pub fn run(lab: &Lab) -> Fig2 {
+    run_for(lab, &FIG2_APPS, &FIG2_THREADS)
+}
+
+impl Fig2 {
+    /// The curve for `(app, threads)`.
+    pub fn curve(&self, app: &str, threads: usize) -> Option<&LlcCurve> {
+        self.curves.iter().find(|c| c.app == app && c.threads == threads)
+    }
+
+    /// Renders execution time (normalized to the full-LLC point) per
+    /// allocation.
+    pub fn render(&self) -> String {
+        let ways = self.curves.first().map(|c| c.times.len()).unwrap_or(0);
+        let mut header = vec!["app".to_string(), "threads".to_string()];
+        header.extend((1..=ways).map(|w| format!("{w}w")));
+        let mut table = Table::new(header);
+        for c in &self.curves {
+            let full = *c.times.last().expect("non-empty curve") as f64;
+            let mut row = vec![c.app.clone(), c.threads.to_string()];
+            row.extend(c.times.iter().map(|&t| format!("{:.2}", t as f64 / full)));
+            table.push(row);
+        }
+        format!("Figure 2: execution time vs LLC ways (normalized to 12 ways)\n{}", table.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn archetypes_behave_as_labeled() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_for(&lab, &["swaptions", "471.omnetpp"], &[4]);
+
+        // swaptions: low utility — beyond the pathological small points,
+        // more ways change little.
+        let sw = fig.curve("swaptions", 4).unwrap();
+        let t3 = sw.times[2] as f64;
+        let t12 = sw.times[11] as f64;
+        assert!(t3 / t12 < 1.08, "swaptions gained {:.3} from ways 3→12", t3 / t12);
+
+        // omnetpp: high utility — keeps improving with capacity.
+        let om = fig.curve("471.omnetpp", 1).unwrap();
+        let t4 = om.times[3] as f64;
+        let t12 = om.times[11] as f64;
+        assert!(t4 / t12 > 1.10, "omnetpp gained only {:.3} from ways 4→12", t4 / t12);
+    }
+
+    #[test]
+    fn single_threaded_app_has_one_curve() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_for(&lab, &["471.omnetpp"], &[1, 2, 4]);
+        assert_eq!(fig.curves.len(), 1);
+        assert_eq!(fig.curves[0].threads, 1);
+    }
+}

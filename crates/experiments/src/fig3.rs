@@ -1,0 +1,103 @@
+//! Figure 3 — execution time with all prefetchers enabled, normalized to
+//! all prefetchers disabled (values below 1.0 mean prefetching helps).
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+
+/// Threads used (the multiprogram placement: 4 threads on 2 cores).
+pub const THREADS: usize = 4;
+
+/// One application's prefetcher sensitivity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Application name.
+    pub app: String,
+    /// time(prefetchers on) / time(prefetchers off).
+    pub ratio: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// Per-application ratios, registry order.
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Measures the named applications (or all 45).
+pub fn run_subset(lab: &Lab, names: Option<&[&str]>) -> Fig3 {
+    let apps: Vec<_> = match names {
+        Some(ns) => ns.iter().map(|n| lab.app(n).clone()).collect(),
+        None => lab.apps().to_vec(),
+    };
+    let ways = lab.runner().config().machine.llc.ways;
+    let jobs: Vec<(usize, bool)> =
+        (0..apps.len()).flat_map(|a| [(a, true), (a, false)]).collect();
+    let times = parallel_map(jobs.clone(), |&(a, pf)| lab.solo_configured(&apps[a], THREADS, ways, pf).cycles);
+    let mut on = vec![0u64; apps.len()];
+    let mut off = vec![0u64; apps.len()];
+    for (&(a, pf), &t) in jobs.iter().zip(&times) {
+        if pf {
+            on[a] = t;
+        } else {
+            off[a] = t;
+        }
+    }
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(a, app)| Fig3Row { app: app.name.to_string(), ratio: on[a] as f64 / off[a] as f64 })
+        .collect();
+    Fig3 { rows }
+}
+
+/// Measures all 45 applications.
+pub fn run(lab: &Lab) -> Fig3 {
+    run_subset(lab, None)
+}
+
+impl Fig3 {
+    /// The ratio for one application.
+    pub fn ratio(&self, app: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.app == app).map(|r| r.ratio)
+    }
+
+    /// Applications insensitive to prefetching (within ±5%), §3.3 counts
+    /// 36 of 46 configurations insensitive.
+    pub fn insensitive_count(&self) -> usize {
+        self.rows.iter().filter(|r| (r.ratio - 1.0).abs() <= 0.05).count()
+    }
+
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["app", "on/off", "effect"]);
+        for r in &self.rows {
+            let effect = if r.ratio < 0.95 {
+                "benefits"
+            } else if r.ratio > 1.05 {
+                "degrades"
+            } else {
+                "insensitive"
+            };
+            table.push([r.app.clone(), format!("{:.3}", r.ratio), effect.to_string()]);
+        }
+        format!("Figure 3: execution time, prefetchers on / off\n{}", table.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn streaming_app_benefits_and_compute_app_does_not() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_subset(&lab, Some(&["462.libquantum", "swaptions"]));
+        let lq = fig.ratio("462.libquantum").unwrap();
+        assert!(lq < 0.85, "libquantum prefetch ratio {lq:.3} should show a large benefit");
+        let sw = fig.ratio("swaptions").unwrap();
+        assert!((sw - 1.0).abs() < 0.05, "swaptions should be insensitive, got {sw:.3}");
+    }
+}

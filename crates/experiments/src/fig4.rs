@@ -1,0 +1,87 @@
+//! Figure 4 — increase in execution time when co-running with the
+//! `stream_uncached` bandwidth hog.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+
+/// Threads for the victim application (hog runs single-threaded).
+pub const THREADS: usize = 4;
+
+/// One application's bandwidth sensitivity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Application name.
+    pub app: String,
+    /// time(with hog) / time(alone).
+    pub slowdown: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Per-application slowdowns, registry order (the hog itself is
+    /// excluded as the paper plots it against itself separately).
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Measures the named applications (or all, including the hog-vs-hog
+/// point the paper annotates as 3.8×).
+pub fn run_subset(lab: &Lab, names: Option<&[&str]>) -> Fig4 {
+    let apps: Vec<_> = match names {
+        Some(ns) => ns.iter().map(|n| lab.app(n).clone()).collect(),
+        None => lab.apps().to_vec(),
+    };
+    let hog = lab.app("stream_uncached").clone();
+    let slowdowns = parallel_map(apps.clone(), |app| {
+        let solo = lab.solo(app, THREADS, lab.runner().config().machine.llc.ways).cycles;
+        let pair = lab.runner().run_with_hog(app, &hog);
+        assert!(!pair.truncated, "{} truncated next to the hog", app.name);
+        pair.fg_cycles as f64 / solo as f64
+    });
+    let rows = apps
+        .iter()
+        .zip(&slowdowns)
+        .map(|(app, &s)| Fig4Row { app: app.name.to_string(), slowdown: s })
+        .collect();
+    Fig4 { rows }
+}
+
+/// Measures all 45 applications.
+pub fn run(lab: &Lab) -> Fig4 {
+    run_subset(lab, None)
+}
+
+impl Fig4 {
+    /// The slowdown for one application.
+    pub fn slowdown(&self, app: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.app == app).map(|r| r.slowdown)
+    }
+
+    /// Renders the figure's series.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["app", "slowdown"]);
+        for r in &self.rows {
+            table.push([r.app.clone(), format!("{:.3}x", r.slowdown)]);
+        }
+        format!("Figure 4: execution-time increase next to stream_uncached\n{}", table.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn bandwidth_bound_suffers_compute_bound_does_not() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_subset(&lab, Some(&["470.lbm", "453.povray"]));
+        let lbm = fig.slowdown("470.lbm").unwrap();
+        assert!(lbm > 1.15, "lbm hog slowdown {lbm:.3} too small");
+        let povray = fig.slowdown("453.povray").unwrap();
+        assert!(povray < 1.08, "povray hog slowdown {povray:.3} too large");
+        assert!(lbm > povray);
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 5 / Table 3 — hierarchical clustering of the applications and
+//! the cluster representatives.
+//!
+//! Reassembles the 19-value feature vectors from the Fig 1–4 measurements
+//! (7 thread-scaling points, 10 LLC-capacity points, prefetcher and
+//! bandwidth sensitivity), normalizes each dimension to [0, 1], runs
+//! single-linkage clustering, and cuts the dendrogram
+//! for the paper's cluster count (its 0.9-distance cut yields seven).
+
+use crate::fig1::Fig1;
+use crate::fig3::Fig3;
+use crate::fig4::Fig4;
+use crate::report::Table;
+use crate::table2::Table2;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::cluster::{centroid_representative, cut_for_cluster_count, single_linkage, Dendrogram};
+use waypart_analysis::features::{normalize, FeatureVector};
+
+/// Target cluster count: the paper's cut at linkage distance 0.9 yields
+/// seven clusters (six analyzed plus the `fluidanimate` singleton, which
+/// the paper sets aside).
+pub const TARGET_CLUSTERS: usize = 7;
+
+/// The clustering outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// Application names, aligned with `assignments`.
+    pub apps: Vec<String>,
+    /// Raw (unnormalized) feature vectors.
+    pub features: Vec<FeatureVector>,
+    /// The dendrogram (scipy-style merge list; Figure 5's content).
+    pub dendrogram: Dendrogram,
+    /// Cluster index per application at the cut.
+    pub assignments: Vec<usize>,
+    /// The linkage distance the cut happened at.
+    pub cut_distance: f64,
+    /// Per-cluster representative (centroid rule; Table 3's bold names).
+    pub representatives: Vec<String>,
+}
+
+/// Builds feature vectors from the characterization measurements and
+/// clusters them. All four inputs must cover the same applications in the
+/// same order.
+///
+/// # Panics
+/// Panics if the inputs cover different applications.
+pub fn run(fig1: &Fig1, table2: &Table2, fig3: &Fig3, fig4: &Fig4) -> Fig5 {
+    run_with_target(fig1, table2, fig3, fig4, TARGET_CLUSTERS)
+}
+
+/// Like [`run`] but with an explicit cluster-count target (for reduced
+/// application subsets).
+///
+/// # Panics
+/// Panics if the inputs cover different applications.
+pub fn run_with_target(fig1: &Fig1, table2: &Table2, fig3: &Fig3, fig4: &Fig4, target: usize) -> Fig5 {
+    let n = fig1.curves.len();
+    assert_eq!(table2.rows.len(), n, "table2 coverage mismatch");
+    assert_eq!(fig3.rows.len(), n, "fig3 coverage mismatch");
+    assert_eq!(fig4.rows.len(), n, "fig4 coverage mismatch");
+
+    let mut features = Vec::with_capacity(n);
+    for i in 0..n {
+        let c1 = &fig1.curves[i];
+        let r2 = &table2.rows[i];
+        assert_eq!(c1.app, r2.app, "row order mismatch");
+        assert_eq!(c1.app, fig3.rows[i].app);
+        assert_eq!(c1.app, fig4.rows[i].app);
+        // 7 thread features: relative execution time at 2..=8 threads.
+        let threads: Vec<f64> = (1..8).map(|t| 1.0 / c1.speedups[t].max(1e-9)).collect();
+        // 10 LLC features: execution time at ways 2..=11 relative to 12.
+        let full = *r2.times.last().expect("sweep") as f64;
+        let llc: Vec<f64> = r2.times[1..11].iter().map(|&t| t as f64 / full).collect();
+        features.push(FeatureVector::new(
+            c1.app.clone(),
+            &threads,
+            &llc,
+            fig3.rows[i].ratio,
+            fig4.rows[i].slowdown,
+        ));
+    }
+
+    let normalized = normalize(&features);
+    let dendrogram = single_linkage(&normalized);
+    let (cut_distance, assignments) = cut_for_cluster_count(&dendrogram, target.min(n));
+
+    let cluster_count = assignments.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut representatives = Vec::with_capacity(cluster_count);
+    for c in 0..cluster_count {
+        let members: Vec<usize> =
+            (0..n).filter(|&i| assignments[i] == c).collect();
+        let rep = centroid_representative(&normalized, &members);
+        representatives.push(features[rep].name.clone());
+    }
+
+    Fig5 {
+        apps: features.iter().map(|f| f.name.clone()).collect(),
+        features,
+        dendrogram,
+        assignments,
+        cut_distance,
+        representatives,
+    }
+}
+
+impl Fig5 {
+    /// Number of clusters at the cut.
+    pub fn cluster_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<&str> {
+        self.apps
+            .iter()
+            .zip(&self.assignments)
+            .filter(|(_, &a)| a == c)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// The cluster an application landed in.
+    pub fn cluster_of(&self, app: &str) -> Option<usize> {
+        self.apps.iter().position(|a| a == app).map(|i| self.assignments[i])
+    }
+
+    /// Renders cluster membership and representatives.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["cluster", "representative", "members"]);
+        for c in 0..self.cluster_count() {
+            table.push([
+                format!("C{}", c + 1),
+                self.representatives[c].clone(),
+                self.members(c).join(", "),
+            ]);
+        }
+        let mut out = format!(
+            "Figure 5 / Table 3: {} clusters at linkage distance {:.3}\n{}",
+            self.cluster_count(),
+            self.cut_distance,
+            table.render()
+        );
+        out.push_str("\nDendrogram merges (id_a, id_b, distance):\n");
+        for m in &self.dendrogram.merges {
+            out.push_str(&format!("  {} + {} @ {:.3}\n", m.a, m.b, m.distance));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::Lab;
+    use crate::{fig1, fig3, fig4, table2};
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn similar_apps_cluster_together() {
+        // Two compute-bound scalable apps and two streaming SPEC codes:
+        // the pairs must land in separate clusters from each other.
+        let lab = Lab::new(RunnerConfig::test());
+        let names = ["swaptions", "blackscholes", "462.libquantum", "470.lbm"];
+        let f1 = fig1::run_subset(&lab, Some(&names));
+        let t2 = table2::run_subset(&lab, Some(&names));
+        let f3 = fig3::run_subset(&lab, Some(&names));
+        let f4 = fig4::run_subset(&lab, Some(&names));
+        let fig5 = run_with_target(&f1, &t2, &f3, &f4, 2);
+        assert_eq!(fig5.apps.len(), 4);
+        assert_eq!(
+            fig5.cluster_of("swaptions"),
+            fig5.cluster_of("blackscholes"),
+            "compute twins split: {}",
+            fig5.render()
+        );
+        // With only four apps, min-max normalization stretches the small
+        // libquantum/lbm differences, so we only require the compute and
+        // streaming groups to separate (the full 45-app clustering is
+        // exercised by the reproduce binary / integration tests).
+        assert_ne!(fig5.cluster_of("swaptions"), fig5.cluster_of("470.lbm"));
+        assert_ne!(fig5.cluster_of("blackscholes"), fig5.cluster_of("462.libquantum"));
+        assert!(fig5.cluster_count() >= 2);
+    }
+}

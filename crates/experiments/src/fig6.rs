@@ -1,0 +1,171 @@
+//! Figure 6 — runtime, LLC MPKI, socket energy, and wall energy across
+//! all 96 (threads × ways) resource allocations for the six cluster
+//! representatives.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_workloads::registry::CLUSTER_REPRESENTATIVES;
+
+/// One resource allocation's measurements.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AllocationPoint {
+    /// Hyperthreads allocated (1..=8).
+    pub threads: usize,
+    /// LLC ways allocated (1..=12).
+    pub ways: usize,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// LLC misses per kilo-instruction over the run.
+    pub mpki: f64,
+    /// Socket energy, joules.
+    pub socket_j: f64,
+    /// Wall energy, joules.
+    pub wall_j: f64,
+}
+
+/// One application's full allocation space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationSpace {
+    /// Application name.
+    pub app: String,
+    /// All (threads, ways) points (threads-major order).
+    pub points: Vec<AllocationPoint>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// One space per representative.
+    pub spaces: Vec<AllocationSpace>,
+}
+
+/// Sweeps the allocation space for the given applications.
+pub fn run_for(lab: &Lab, names: &[&str]) -> Fig6 {
+    let specs: Vec<_> = names.iter().map(|n| lab.app(n).clone()).collect();
+    let ways_total = lab.runner().config().machine.llc.ways;
+    let threads_total = lab.runner().config().machine.hw_threads();
+    let mut jobs = Vec::new();
+    for a in 0..specs.len() {
+        for t in 1..=threads_total {
+            for w in 1..=ways_total {
+                jobs.push((a, t, w));
+            }
+        }
+    }
+    let results = parallel_map(jobs.clone(), |&(a, t, w)| {
+        let res = lab.solo(&specs[a], t, w);
+        AllocationPoint {
+            threads: t,
+            ways: w,
+            cycles: res.cycles,
+            mpki: res.counters.mpki(),
+            socket_j: res.energy.socket_j,
+            wall_j: res.energy.wall_j,
+        }
+    });
+    let mut spaces: Vec<AllocationSpace> =
+        specs.iter().map(|s| AllocationSpace { app: s.name.to_string(), points: Vec::new() }).collect();
+    for (&(a, _, _), &p) in jobs.iter().zip(&results) {
+        spaces[a].points.push(p);
+    }
+    Fig6 { spaces }
+}
+
+/// Sweeps the six cluster representatives (the paper's panels).
+pub fn run(lab: &Lab) -> Fig6 {
+    run_for(lab, &CLUSTER_REPRESENTATIVES)
+}
+
+impl AllocationSpace {
+    /// The point at (threads, ways).
+    pub fn at(&self, threads: usize, ways: usize) -> Option<&AllocationPoint> {
+        self.points.iter().find(|p| p.threads == threads && p.ways == ways)
+    }
+
+    /// The wall-energy-optimal point.
+    pub fn optimal(&self) -> &AllocationPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.wall_j.partial_cmp(&b.wall_j).expect("finite energy"))
+            .expect("non-empty space")
+    }
+
+    /// All points whose wall energy is within `tolerance` of the optimum —
+    /// the "many resource allocations achieve near optimal" observation
+    /// that motivates consolidation (§4).
+    pub fn near_optimal(&self, tolerance: f64) -> Vec<&AllocationPoint> {
+        let best = self.optimal().wall_j;
+        self.points.iter().filter(|p| p.wall_j <= best * (1.0 + tolerance)).collect()
+    }
+
+    /// Smallest way count that stays within `tolerance` of the optimal
+    /// wall energy at the optimal point's thread count — how much LLC the
+    /// app can yield for free.
+    pub fn min_ways_near_optimal(&self, tolerance: f64) -> usize {
+        let opt = self.optimal();
+        let best = opt.wall_j;
+        self.points
+            .iter()
+            .filter(|p| p.threads == opt.threads && p.wall_j <= best * (1.0 + tolerance))
+            .map(|p| p.ways)
+            .min()
+            .expect("optimal point qualifies")
+    }
+}
+
+impl Fig6 {
+    /// The space for one application.
+    pub fn space(&self, app: &str) -> Option<&AllocationSpace> {
+        self.spaces.iter().find(|s| s.app == app)
+    }
+
+    /// Renders one summary row per application.
+    pub fn render(&self) -> String {
+        let mut table =
+            Table::new(["app", "optimal (T, ways)", "wall J", "near-opt points (5%)", "yieldable ways"]);
+        for s in &self.spaces {
+            let opt = s.optimal();
+            table.push([
+                s.app.clone(),
+                format!("({}, {})", opt.threads, opt.ways),
+                format!("{:.3}", opt.wall_j),
+                s.near_optimal(0.05).len().to_string(),
+                format!("{}", s.points.iter().map(|p| p.ways).max().unwrap_or(0) - s.min_ways_near_optimal(0.05)),
+            ]);
+        }
+        format!("Figure 6: allocation-space sweep (96 points per app)\n{}", table.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn sweep_covers_full_space_and_finds_slack() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_for(&lab, &["dedup"]);
+        let space = fig.space("dedup").unwrap();
+        assert_eq!(space.points.len(), 96);
+        // dedup is cache-insensitive: it must be able to yield several
+        // ways at near-optimal energy.
+        let yieldable = 12 - space.min_ways_near_optimal(0.05);
+        assert!(yieldable >= 4, "dedup yields only {yieldable} ways");
+        // More than one allocation is near-optimal (the consolidation
+        // opportunity).
+        assert!(space.near_optimal(0.05).len() >= 2);
+    }
+
+    #[test]
+    fn mpki_declines_with_capacity_for_cache_sensitive_app() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_for(&lab, &["471.omnetpp"]);
+        let space = fig.space("471.omnetpp").unwrap();
+        let small = space.at(1, 2).unwrap().mpki;
+        let large = space.at(1, 12).unwrap().mpki;
+        assert!(large < small * 0.9, "omnetpp MPKI {small:.1} → {large:.1} did not decline");
+    }
+}

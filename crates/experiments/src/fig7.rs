@@ -1,0 +1,104 @@
+//! Figure 7 — wall-energy contour maps over the allocation space,
+//! derived from the Figure 6 sweep.
+
+use crate::fig6::Fig6;
+use serde::{Deserialize, Serialize};
+
+/// The paper's contour levels (wall energy relative to the optimum).
+pub const CONTOUR_LEVELS: [f64; 9] = [1.0, 1.025, 1.05, 1.10, 1.20, 1.35, 1.50, 1.75, 2.00];
+
+/// One application's contour grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContourGrid {
+    /// Application name.
+    pub app: String,
+    /// `relative[t][w]` = wall energy at (t+1 threads, w+1 ways) divided
+    /// by the app's optimal wall energy.
+    pub relative: Vec<Vec<f64>>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// One grid per application.
+    pub grids: Vec<ContourGrid>,
+}
+
+/// Derives the contour grids from a Figure 6 sweep.
+pub fn run(fig6: &Fig6) -> Fig7 {
+    let grids = fig6
+        .spaces
+        .iter()
+        .map(|s| {
+            let threads = s.points.iter().map(|p| p.threads).max().unwrap_or(0);
+            let ways = s.points.iter().map(|p| p.ways).max().unwrap_or(0);
+            let best = s.optimal().wall_j;
+            let mut relative = vec![vec![f64::NAN; ways]; threads];
+            for p in &s.points {
+                relative[p.threads - 1][p.ways - 1] = p.wall_j / best;
+            }
+            ContourGrid { app: s.app.clone(), relative }
+        })
+        .collect();
+    Fig7 { grids }
+}
+
+impl ContourGrid {
+    /// The contour-level index for a cell (0 = optimal band).
+    pub fn level(&self, threads: usize, ways: usize) -> usize {
+        let r = self.relative[threads - 1][ways - 1];
+        CONTOUR_LEVELS.iter().rposition(|&l| r >= l).unwrap_or(0)
+    }
+}
+
+impl Fig7 {
+    /// The grid for one application.
+    pub fn grid(&self, app: &str) -> Option<&ContourGrid> {
+        self.grids.iter().find(|g| g.app == app)
+    }
+
+    /// Renders an ASCII contour map per application (digits are contour
+    /// level indices; 0 is the energy-optimal band).
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 7: wall-energy contours (digit = contour level, 0 = optimal)\n");
+        for g in &self.grids {
+            out.push_str(&format!("\n{} (rows: ways 12..1, cols: threads 1..8)\n", g.app));
+            let threads = g.relative.len();
+            let ways = g.relative.first().map(|r| r.len()).unwrap_or(0);
+            for w in (1..=ways).rev() {
+                let mut line = format!("  {w:>2}w ");
+                for t in 1..=threads {
+                    let lvl = g.level(t, w);
+                    line.push_str(&format!("{lvl}"));
+                }
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig6;
+    use crate::lab::Lab;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn contours_are_relative_to_optimum() {
+        let lab = Lab::new(RunnerConfig::test());
+        let f6 = fig6::run_for(&lab, &["ferret"]);
+        let f7 = run(&f6);
+        let g = f7.grid("ferret").unwrap();
+        let min = g
+            .relative
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-9, "minimum relative energy {min} should be 1.0");
+        assert!(!f7.render().is_empty());
+    }
+}

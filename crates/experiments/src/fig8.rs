@@ -1,0 +1,136 @@
+//! Figure 8 — heat map of foreground slowdown for every pair of
+//! applications sharing the LLC with no partitioning.
+//!
+//! Rows are background applications, columns foreground; each value is the
+//! foreground's execution time normalized to running alone on the same 2
+//! cores / 4 hyperthreads.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::SummaryStats;
+use waypart_core::policy::PartitionPolicy;
+
+/// The heat map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Application names (both axes, same order).
+    pub apps: Vec<String>,
+    /// `slowdown[bg][fg]` = foreground slowdown of `fg` under `bg`.
+    pub slowdown: Vec<Vec<f64>>,
+}
+
+/// Runs the pairwise sweep over the named applications (or all 45 —
+/// 2025 co-runs; use a scaled-down [`waypart_core::runner::RunnerConfig`]).
+pub fn run_subset(lab: &Lab, names: Option<&[&str]>) -> Fig8 {
+    let apps: Vec<_> = match names {
+        Some(ns) => ns.iter().map(|n| lab.app(n).clone()).collect(),
+        None => lab.apps().to_vec(),
+    };
+    let n = apps.len();
+    // Baselines first (cached for later experiments too).
+    let baselines = parallel_map((0..n).collect(), |&i| lab.pair_baseline(&apps[i]).cycles);
+    let jobs: Vec<(usize, usize)> = (0..n).flat_map(|bg| (0..n).map(move |fg| (bg, fg))).collect();
+    let values = parallel_map(jobs.clone(), |&(bg, fg)| {
+        let res = lab.runner().run_pair_endless_bg(&apps[fg], &apps[bg], PartitionPolicy::Shared);
+        assert!(!res.truncated, "{} under {} truncated", apps[fg].name, apps[bg].name);
+        res.fg_cycles as f64 / baselines[fg] as f64
+    });
+    let mut slowdown = vec![vec![0.0; n]; n];
+    for (&(bg, fg), &v) in jobs.iter().zip(&values) {
+        slowdown[bg][fg] = v;
+    }
+    Fig8 { apps: apps.iter().map(|a| a.name.to_string()).collect(), slowdown }
+}
+
+/// Runs the full 45×45 sweep.
+pub fn run(lab: &Lab) -> Fig8 {
+    run_subset(lab, None)
+}
+
+impl Fig8 {
+    fn index(&self, app: &str) -> Option<usize> {
+        self.apps.iter().position(|a| a == app)
+    }
+
+    /// Foreground slowdown of `fg` when `bg` runs behind it.
+    pub fn cell(&self, fg: &str, bg: &str) -> Option<f64> {
+        Some(self.slowdown[self.index(bg)?][self.index(fg)?])
+    }
+
+    /// Average slowdown an application *suffers* across all backgrounds
+    /// (a dark column = a sensitive application, §5.1).
+    pub fn sensitivity(&self, fg: &str) -> Option<f64> {
+        let f = self.index(fg)?;
+        Some(self.slowdown.iter().map(|row| row[f]).sum::<f64>() / self.apps.len() as f64)
+    }
+
+    /// Average slowdown an application *causes* across all foregrounds
+    /// (a dark row = an aggressive application, §5.1).
+    pub fn aggression(&self, bg: &str) -> Option<f64> {
+        let b = self.index(bg)?;
+        Some(self.slowdown[b].iter().sum::<f64>() / self.apps.len() as f64)
+    }
+
+    /// Summary over every cell.
+    pub fn stats(&self) -> SummaryStats {
+        SummaryStats::from_values(self.slowdown.iter().flatten().copied())
+    }
+
+    /// Fraction of foreground applications whose *average* slowdown is
+    /// below 2.5% (the paper counts 22 of 45).
+    pub fn fraction_unaffected(&self) -> f64 {
+        let n = self.apps.len();
+        let unaffected = (0..n)
+            .filter(|&f| {
+                let avg = self.slowdown.iter().map(|row| row[f]).sum::<f64>() / n as f64;
+                avg < 1.025
+            })
+            .count();
+        unaffected as f64 / n as f64
+    }
+
+    /// Renders the heat map as a table of percent slowdowns.
+    pub fn render(&self) -> String {
+        let mut header = vec!["bg \\ fg".to_string()];
+        header.extend(self.apps.iter().cloned());
+        let mut table = Table::new(header);
+        for (b, row) in self.slowdown.iter().enumerate() {
+            let mut cells = vec![self.apps[b].clone()];
+            cells.extend(row.iter().map(|v| format!("{:+.0}%", (v - 1.0) * 100.0)));
+            table.push(cells);
+        }
+        let stats = self.stats();
+        let heat = crate::viz::shade_map(&self.apps, &self.slowdown);
+        format!(
+            "Figure 8: shared-LLC foreground slowdown (mean {:.1}%, worst {:.1}%)\n{}\nheat map (rows = background, columns = foreground in the same order):\n{}",
+            (stats.mean - 1.0) * 100.0,
+            (stats.max - 1.0) * 100.0,
+            table.render(),
+            heat
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn aggressor_hurts_sensitive_app_and_asymmetry_shows() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fig = run_subset(&lab, Some(&["471.omnetpp", "swaptions", "canneal"]));
+        // canneal (aggressor) must hurt omnetpp (sensitive) more than
+        // swaptions hurts it.
+        let omnetpp_under_canneal = fig.cell("471.omnetpp", "canneal").unwrap();
+        let omnetpp_under_swaptions = fig.cell("471.omnetpp", "swaptions").unwrap();
+        assert!(
+            omnetpp_under_canneal > omnetpp_under_swaptions,
+            "canneal ({omnetpp_under_canneal:.3}) should out-degrade swaptions ({omnetpp_under_swaptions:.3})"
+        );
+        // swaptions barely suffers from anything.
+        assert!(fig.sensitivity("swaptions").unwrap() < 1.06);
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 9 — foreground protection under shared, fair, and best-biased
+//! partitioning for the 36 ordered cluster-representative pairs.
+
+use crate::lab::Lab;
+use crate::report::Table;
+use crate::util::parallel_map;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::SummaryStats;
+use waypart_core::policy::PartitionPolicy;
+use waypart_core::static_search::best_biased;
+use waypart_workloads::registry::CLUSTER_REPRESENTATIVES;
+
+/// One ordered pair's results (values are foreground slowdowns vs. solo).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Cell {
+    /// Foreground application.
+    pub fg: String,
+    /// Background application (continuously running).
+    pub bg: String,
+    /// Slowdown with no partitioning.
+    pub shared: f64,
+    /// Slowdown with the even split.
+    pub fair: f64,
+    /// Slowdown with the best biased split.
+    pub biased: f64,
+    /// Foreground ways of the best biased split.
+    pub biased_ways: usize,
+    /// Background throughput (instr/cycle) under the best biased split —
+    /// reused as the "best static" baseline by Figure 13.
+    pub biased_bg_rate: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// All ordered pairs.
+    pub cells: Vec<Fig9Cell>,
+}
+
+/// Runs the policy comparison over ordered pairs of the given apps.
+pub fn run_for(lab: &Lab, names: &[&str]) -> Fig9 {
+    let specs: Vec<_> = names.iter().map(|n| lab.app(n).clone()).collect();
+    let baselines = parallel_map((0..specs.len()).collect(), |&i| lab.pair_baseline(&specs[i]).cycles);
+    let jobs: Vec<(usize, usize)> =
+        (0..specs.len()).flat_map(|f| (0..specs.len()).map(move |b| (f, b))).collect();
+    let cells = parallel_map(jobs, |&(f, b)| {
+        let fg = &specs[f];
+        let bg = &specs[b];
+        let solo = baselines[f];
+        let shared = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Shared);
+        let fair = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Fair);
+        let search = best_biased(lab.runner(), fg, bg, solo);
+        Fig9Cell {
+            fg: fg.name.to_string(),
+            bg: bg.name.to_string(),
+            shared: shared.fg_cycles as f64 / solo as f64,
+            fair: fair.fg_cycles as f64 / solo as f64,
+            biased: search.best.fg_cycles as f64 / solo as f64,
+            biased_ways: search.fg_ways,
+            biased_bg_rate: search.best.bg_rate,
+        }
+    });
+    Fig9 { cells }
+}
+
+/// Runs the six cluster representatives (36 ordered pairs).
+pub fn run(lab: &Lab) -> Fig9 {
+    run_for(lab, &CLUSTER_REPRESENTATIVES)
+}
+
+impl Fig9 {
+    /// The cell for an ordered (fg, bg) pair.
+    pub fn cell(&self, fg: &str, bg: &str) -> Option<&Fig9Cell> {
+        self.cells.iter().find(|c| c.fg == fg && c.bg == bg)
+    }
+
+    /// Slowdown summary per policy: (shared, fair, biased).
+    pub fn stats(&self) -> (SummaryStats, SummaryStats, SummaryStats) {
+        (
+            SummaryStats::from_values(self.cells.iter().map(|c| c.shared)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.fair)),
+            SummaryStats::from_values(self.cells.iter().map(|c| c.biased)),
+        )
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["fg", "bg", "shared", "fair", "biased", "biased ways"]);
+        for c in &self.cells {
+            table.push([
+                c.fg.clone(),
+                c.bg.clone(),
+                format!("{:.3}", c.shared),
+                format!("{:.3}", c.fair),
+                format!("{:.3}", c.biased),
+                c.biased_ways.to_string(),
+            ]);
+        }
+        let (s, f, b) = self.stats();
+        format!(
+            "Figure 9: foreground slowdown by policy\n{}\naverages: shared {s}, fair {f}, biased {b}\n",
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn biased_never_loses_to_shared_on_average() {
+        let lab = Lab::new(RunnerConfig::test());
+        // A sensitive foreground and an aggressive background: exactly the
+        // case partitioning exists for.
+        let fig = run_for(&lab, &["471.omnetpp", "canneal"]);
+        assert_eq!(fig.cells.len(), 4);
+        let (shared, _, biased) = fig.stats();
+        assert!(
+            biased.mean <= shared.mean + 0.01,
+            "biased mean {:.3} worse than shared {:.3}",
+            biased.mean,
+            shared.mean
+        );
+        assert!(
+            biased.max <= shared.max + 0.01,
+            "biased worst {:.3} worse than shared {:.3}",
+            biased.max,
+            shared.max
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's headline numbers (§1 / §8), aggregated from Figures 9–13.
+//!
+//! Paper values: co-scheduling without partitioning gives a 10% energy and
+//! 54% throughput improvement with 6% average / 34% worst-case foreground
+//! slowdown; optimal static (biased) partitioning gives 12% / 60% with 2%
+//! average / 7% worst-case; the dynamic controller holds the foreground
+//! within 1–2% of best static while raising background throughput 19% on
+//! average (up to 2.5×).
+
+use crate::fig10::Fig10;
+use crate::fig11::Fig11;
+use crate::fig13::Fig13;
+use crate::fig9::Fig9;
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+
+/// The aggregated headline metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// Average foreground slowdown, shared (paper: 1.06).
+    pub shared_avg_slowdown: f64,
+    /// Worst foreground slowdown, shared (paper: 1.345).
+    pub shared_worst_slowdown: f64,
+    /// Average foreground slowdown, biased (paper: 1.02).
+    pub biased_avg_slowdown: f64,
+    /// Worst foreground slowdown, biased (paper: 1.074).
+    pub biased_worst_slowdown: f64,
+    /// Average relative energy, shared (paper: 0.90).
+    pub shared_energy: f64,
+    /// Average relative energy, biased (paper: 0.88).
+    pub biased_energy: f64,
+    /// Average weighted speedup, shared (paper: 1.54).
+    pub shared_speedup: f64,
+    /// Average weighted speedup, biased (paper: 1.60).
+    pub biased_speedup: f64,
+    /// Average background gain of dynamic over best static (paper: 1.19).
+    pub dynamic_bg_gain: f64,
+    /// Peak background gain (paper: ~2.5×).
+    pub dynamic_bg_peak: f64,
+    /// Average dynamic foreground penalty vs best static (paper ≤ 1.02).
+    pub dynamic_fg_penalty: f64,
+}
+
+/// Aggregates the consolidated experiments.
+pub fn run(fig9: &Fig9, fig10: &Fig10, fig11: &Fig11, fig13: &Fig13) -> Headline {
+    let (s9, _, b9) = fig9.stats();
+    let (s10, _, b10) = fig10.stats();
+    let (s11, _, b11) = fig11.stats();
+    let (d13, _) = fig13.stats();
+    Headline {
+        shared_avg_slowdown: s9.mean,
+        shared_worst_slowdown: s9.max,
+        biased_avg_slowdown: b9.mean,
+        biased_worst_slowdown: b9.max,
+        shared_energy: s10.mean,
+        biased_energy: b10.mean,
+        shared_speedup: s11.mean,
+        biased_speedup: b11.mean,
+        dynamic_bg_gain: d13.mean,
+        dynamic_bg_peak: d13.max,
+        dynamic_fg_penalty: fig13.fg_penalty_stats().mean,
+    }
+}
+
+impl Headline {
+    /// Checks the qualitative *shape* the paper reports: who wins and in
+    /// what direction, without requiring matching absolute numbers.
+    /// Returns human-readable violations (empty = shape holds).
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut check = |ok: bool, msg: String| {
+            if !ok {
+                v.push(msg);
+            }
+        };
+        check(
+            self.biased_avg_slowdown <= self.shared_avg_slowdown + 1e-6,
+            format!(
+                "biased avg slowdown {:.3} should not exceed shared {:.3}",
+                self.biased_avg_slowdown, self.shared_avg_slowdown
+            ),
+        );
+        check(
+            self.biased_worst_slowdown < self.shared_worst_slowdown,
+            format!(
+                "biased worst slowdown {:.3} should beat shared {:.3}",
+                self.biased_worst_slowdown, self.shared_worst_slowdown
+            ),
+        );
+        check(
+            self.shared_energy < 1.0 && self.biased_energy < 1.0,
+            format!("consolidation should save energy: shared {:.3}, biased {:.3}", self.shared_energy, self.biased_energy),
+        );
+        check(
+            self.biased_energy <= self.shared_energy + 0.02,
+            format!("biased energy {:.3} should be at least as good as shared {:.3}", self.biased_energy, self.shared_energy),
+        );
+        check(
+            self.shared_speedup > 1.2 && self.biased_speedup > 1.2,
+            format!("consolidation speedups too low: shared {:.2}, biased {:.2}", self.shared_speedup, self.biased_speedup),
+        );
+        check(
+            self.biased_speedup >= self.shared_speedup - 0.02,
+            format!("biased speedup {:.2} should match or beat shared {:.2}", self.biased_speedup, self.shared_speedup),
+        );
+        check(
+            self.dynamic_bg_gain > 1.0,
+            format!("dynamic should raise background throughput over best static, got {:.2}", self.dynamic_bg_gain),
+        );
+        check(
+            self.dynamic_fg_penalty < 1.05,
+            format!("dynamic fg penalty {:.3} should stay within a few % of best static", self.dynamic_fg_penalty),
+        );
+        v
+    }
+
+    /// Renders the paper-vs-measured comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["metric", "paper", "measured"]);
+        let rows: [(&str, &str, String); 11] = [
+            ("shared avg fg slowdown", "+6%", format!("{:+.1}%", (self.shared_avg_slowdown - 1.0) * 100.0)),
+            ("shared worst fg slowdown", "+34.5%", format!("{:+.1}%", (self.shared_worst_slowdown - 1.0) * 100.0)),
+            ("biased avg fg slowdown", "+2.3%", format!("{:+.1}%", (self.biased_avg_slowdown - 1.0) * 100.0)),
+            ("biased worst fg slowdown", "+7.4%", format!("{:+.1}%", (self.biased_worst_slowdown - 1.0) * 100.0)),
+            ("shared rel. energy", "0.90", format!("{:.3}", self.shared_energy)),
+            ("biased rel. energy", "0.88", format!("{:.3}", self.biased_energy)),
+            ("shared weighted speedup", "1.54", format!("{:.2}", self.shared_speedup)),
+            ("biased weighted speedup", "1.60", format!("{:.2}", self.biased_speedup)),
+            ("dynamic bg gain vs best static", "1.19x", format!("{:.2}x", self.dynamic_bg_gain)),
+            ("dynamic bg peak gain", "~2.5x", format!("{:.2}x", self.dynamic_bg_peak)),
+            ("dynamic fg penalty", "≤ +2%", format!("{:+.1}%", (self.dynamic_fg_penalty - 1.0) * 100.0)),
+        ];
+        for (m, p, v) in rows {
+            t.push([m.to_string(), p.to_string(), v]);
+        }
+        let violations = self.shape_violations();
+        let verdict = if violations.is_empty() {
+            "shape HOLDS".to_string()
+        } else {
+            format!("shape VIOLATED:\n  {}", violations.join("\n  "))
+        };
+        format!("Headline numbers (paper vs measured)\n{}\n{}\n", t.render(), verdict)
+    }
+}

@@ -1,0 +1,122 @@
+//! The shared measurement context.
+//!
+//! [`Lab`] wraps a [`Runner`] with a thread-safe cache of solo runs so the
+//! characterization experiments (Figs 1–5) and the consolidation baselines
+//! (Figs 8–13) never repeat a measurement — the software equivalent of the
+//! paper's measurement database.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use waypart_core::runner::{Runner, RunnerConfig, SoloResult};
+use waypart_sim::msr::PrefetcherMask;
+use waypart_workloads::{registry, AppSpec};
+
+/// Cache key: application, threads, ways, prefetcher configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SoloKey {
+    app: &'static str,
+    threads: usize,
+    ways: usize,
+    prefetchers: bool,
+}
+
+/// Shared, cached measurement context.
+pub struct Lab {
+    runner: Runner,
+    apps: Vec<AppSpec>,
+    cache: Mutex<HashMap<SoloKey, SoloResult>>,
+}
+
+impl Lab {
+    /// A lab over all 45 applications at the given configuration.
+    pub fn new(cfg: RunnerConfig) -> Self {
+        Lab { runner: Runner::new(cfg), apps: registry::all(), cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// All application specs.
+    pub fn apps(&self) -> &[AppSpec] {
+        &self.apps
+    }
+
+    /// Looks up an app by name.
+    ///
+    /// # Panics
+    /// Panics if the name is unknown.
+    pub fn app(&self, name: &str) -> &AppSpec {
+        self.apps.iter().find(|a| a.name == name).unwrap_or_else(|| panic!("unknown app {name}"))
+    }
+
+    /// A cached solo run with all prefetchers enabled.
+    pub fn solo(&self, app: &AppSpec, threads: usize, ways: usize) -> SoloResult {
+        self.solo_configured(app, threads, ways, true)
+    }
+
+    /// A cached solo run with prefetchers all-on or all-off.
+    pub fn solo_configured(&self, app: &AppSpec, threads: usize, ways: usize, prefetchers: bool) -> SoloResult {
+        let key = SoloKey { app: app.name, threads, ways, prefetchers };
+        if let Some(hit) = self.cache.lock().expect("lab cache").get(&key) {
+            return hit.clone();
+        }
+        let pf = if prefetchers { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
+        let res = self.runner.run_solo_configured(app, threads, ways, pf);
+        assert!(!res.truncated, "{} truncated at {} threads / {} ways — raise max_quanta", app.name, threads, ways);
+        self.cache.lock().expect("lab cache").insert(key, res.clone());
+        res
+    }
+
+    /// The solo baseline the multiprogram experiments normalize against:
+    /// 4 threads on 2 cores, full LLC (§5).
+    pub fn pair_baseline(&self, app: &AppSpec) -> SoloResult {
+        self.solo(app, 4, self.runner.config().machine.llc.ways)
+    }
+
+    /// Number of cached runs (for tests).
+    pub fn cached_runs(&self) -> usize {
+        self.cache.lock().expect("lab cache").len()
+    }
+}
+
+impl std::fmt::Debug for Lab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab").field("apps", &self.apps.len()).field("cached_runs", &self.cached_runs()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_avoid_reruns() {
+        let lab = Lab::new(RunnerConfig::test());
+        let app = lab.app("swaptions").clone();
+        let a = lab.solo(&app, 2, 12);
+        assert_eq!(lab.cached_runs(), 1);
+        let b = lab.solo(&app, 2, 12);
+        assert_eq!(lab.cached_runs(), 1);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn distinct_configs_cache_separately() {
+        let lab = Lab::new(RunnerConfig::test());
+        let app = lab.app("swaptions").clone();
+        lab.solo(&app, 2, 12);
+        lab.solo(&app, 2, 6);
+        lab.solo_configured(&app, 2, 12, false);
+        assert_eq!(lab.cached_runs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn unknown_app_panics() {
+        let lab = Lab::new(RunnerConfig::test());
+        let _ = lab.app("not-a-benchmark");
+    }
+}

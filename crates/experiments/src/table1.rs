@@ -1,0 +1,101 @@
+//! Table 1 — thread-scalability classification, measured vs. paper.
+
+use crate::fig1::Fig1;
+use crate::lab::Lab;
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use waypart_analysis::tables::{classify_scalability, ThreeClass};
+use waypart_workloads::ScalClass;
+
+/// One application's measured and expected class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Class measured from the Fig 1 curve.
+    pub measured: ThreeClass,
+    /// The paper's Table 1 class.
+    pub paper: ThreeClass,
+}
+
+/// The classification comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Per-application rows.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Maps the registry's paper-transcribed class onto the classifier's enum.
+pub fn scal_to_three(c: ScalClass) -> ThreeClass {
+    match c {
+        ScalClass::Low => ThreeClass::Low,
+        ScalClass::Saturated => ThreeClass::Saturated,
+        ScalClass::High => ThreeClass::High,
+    }
+}
+
+/// Classifies the measured curves and pairs them with the paper's labels.
+pub fn run(lab: &Lab, fig1: &Fig1) -> Table1 {
+    let rows = fig1
+        .curves
+        .iter()
+        .map(|c| Table1Row {
+            app: c.app.clone(),
+            measured: classify_scalability(&c.speedups),
+            paper: scal_to_three(lab.app(&c.app).scal_class),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Fraction of applications whose measured class matches the paper's.
+    pub fn agreement(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        self.rows.iter().filter(|r| r.measured == r.paper).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Rows where the classes disagree.
+    pub fn mismatches(&self) -> Vec<&Table1Row> {
+        self.rows.iter().filter(|r| r.measured != r.paper).collect()
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(["app", "measured", "paper", "match"]);
+        for r in &self.rows {
+            table.push([
+                r.app.clone(),
+                r.measured.to_string(),
+                r.paper.to_string(),
+                if r.measured == r.paper { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+        format!(
+            "Table 1: thread scalability classes (agreement {:.0}%)\n{}",
+            self.agreement() * 100.0,
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1;
+    use waypart_core::runner::RunnerConfig;
+
+    #[test]
+    fn classes_match_for_clear_cases() {
+        let lab = Lab::new(RunnerConfig::test());
+        let f1 = fig1::run_subset(&lab, Some(&["blackscholes", "429.mcf", "h2"]));
+        let t1 = run(&lab, &f1);
+        assert_eq!(t1.rows.len(), 3);
+        for r in &t1.rows {
+            assert_eq!(r.measured, r.paper, "{} measured {} vs paper {}", r.app, r.measured, r.paper);
+        }
+        assert!((t1.agreement() - 1.0).abs() < 1e-9);
+    }
+}

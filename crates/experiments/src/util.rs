@@ -1,0 +1,59 @@
+//! Small utilities: deterministic parallel mapping over independent runs.
+
+/// Maps `f` over `items` using up to `available_parallelism` OS threads,
+/// preserving input order. Each simulation run owns its machine, so runs
+/// are embarrassingly parallel.
+///
+/// # Panics
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_cell = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results_cell.lock().expect("no poisoned workers")[i] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |&x| x + 1), vec![8]);
+    }
+}

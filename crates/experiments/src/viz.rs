@@ -1,0 +1,95 @@
+//! Terminal visualization helpers: sparklines and shade maps for the
+//! figure renders (the closest a text artifact gets to the paper's plots).
+
+/// Unicode block characters from empty to full.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a sparkline of `values` scaled to their own min/max.
+///
+/// Empty input renders as an empty string; a constant series renders at
+/// the lowest bar.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / range) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Shade characters from light to dark for heat maps.
+const SHADES: [char; 5] = ['·', '░', '▒', '▓', '█'];
+
+/// Maps `value` within `[lo, hi]` to a shade character.
+pub fn shade(value: f64, lo: f64, hi: f64) -> char {
+    if !value.is_finite() {
+        return '?';
+    }
+    let range = (hi - lo).max(1e-12);
+    let idx = (((value - lo) / range) * (SHADES.len() - 1) as f64).round() as usize;
+    SHADES[idx.min(SHADES.len() - 1)]
+}
+
+/// Renders a shade map of a matrix with the global min/max as the scale.
+/// Rows are labeled; a scale legend is appended.
+pub fn shade_map(labels: &[String], matrix: &[Vec<f64>]) -> String {
+    assert_eq!(labels.len(), matrix.len(), "one label per row");
+    let lo = matrix.iter().flatten().cloned().fold(f64::INFINITY, f64::min);
+    let hi = matrix.iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, row) in labels.iter().zip(matrix) {
+        out.push_str(&format!("{label:>width$} "));
+        for &v in row {
+            out.push(shade(v, lo, hi));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>width$} scale: {} = {:.2} … {} = {:.2}\n", "", SHADES[0], lo, SHADES[4], hi));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes_follow_data() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_constant() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert!(s.chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn shade_endpoints() {
+        assert_eq!(shade(0.0, 0.0, 1.0), '·');
+        assert_eq!(shade(1.0, 0.0, 1.0), '█');
+        assert_eq!(shade(f64::NAN, 0.0, 1.0), '?');
+    }
+
+    #[test]
+    fn shade_map_renders_rows_and_legend() {
+        let labels = vec!["a".to_string(), "bb".to_string()];
+        let m = vec![vec![0.0, 1.0], vec![0.5, 0.5]];
+        let out = shade_map(&labels, &m);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("scale:"));
+        assert!(out.lines().next().unwrap().starts_with(" a ·"));
+    }
+}

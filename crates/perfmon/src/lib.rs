@@ -1,0 +1,15 @@
+//! # waypart-perfmon
+//!
+//! The libpfm/perf_events analog (§2.2): windowed sampling of the simulated
+//! hardware counters. The paper's phase-detection framework reads LLC
+//! misses per kilo-instruction over 100 ms intervals (§6.2); [`Sampler`]
+//! produces exactly those windows from [`HwCounters`] snapshots, and
+//! [`MpkiSeries`] holds the resulting trace (Fig 12 is one such trace).
+
+pub mod sampler;
+pub mod series;
+
+pub use sampler::{Sample, Sampler};
+pub use series::MpkiSeries;
+
+pub use waypart_sim::counters::HwCounters;

@@ -1,0 +1,213 @@
+//! Page-coloring (set-partitioning) support — the §7 software baseline.
+//!
+//! Before hardware way partitioning, the OS could partition a physically
+//! indexed LLC by *page color*: restricting a process's physical pages to
+//! frames whose set-index bits fall in its share of the sets (Cho & Jin;
+//! Tam et al.; Lin et al. — all discussed in the paper's §7). The paper
+//! contrasts its mechanism with coloring on two points this module lets
+//! experiments reproduce:
+//!
+//! 1. **Recoloring is expensive** — moving a page to a new color means
+//!    physically copying it, so changing a partition costs work
+//!    proportional to the footprint, where a way-mask write costs nothing;
+//! 2. coloring needs a *physically indexed* LLC — a randomized (hashed)
+//!    index function like Sandy Bridge's scatters page-contiguous lines
+//!    across all sets and defeats coloring entirely
+//!    ([`ColorAssignment`] therefore refuses to run on a hashed LLC).
+//!
+//! The model divides the LLC's sets into [`ColorAssignment::groups`]
+//! equal *color groups* and gives each address space a subset. The page→
+//! frame choice is modeled by deterministically hashing each line into one
+//! of its space's allowed groups.
+
+use crate::addr::{mix64, LineAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-address-space color-group assignments over an LLC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColorAssignment {
+    /// Number of color groups the sets divide into.
+    groups: usize,
+    /// Sets per group.
+    sets_per_group: usize,
+    /// log2 of the total set count (bits replaced by the coloring map).
+    set_bits: u32,
+    /// Allowed-group bitmask per address space (default: all groups).
+    masks: HashMap<u16, u32>,
+    /// Pages (lines) recolored so far — the migration cost counter.
+    pub recolored_lines: u64,
+}
+
+impl ColorAssignment {
+    /// Default number of color groups (a 4 KB page on the full-scale LLC
+    /// gives 6 MB / (12 ways × 4 KB) = 128 frame colors; 16 groups keeps
+    /// partitions coarse enough to exist at every scale).
+    pub const DEFAULT_GROUPS: usize = 16;
+
+    /// Builds an assignment for an LLC with `num_sets` sets.
+    ///
+    /// # Panics
+    /// Panics if `groups` is 0, exceeds 32, or does not divide `num_sets`.
+    pub fn new(num_sets: usize, groups: usize) -> Self {
+        assert!(groups >= 1 && groups <= 32, "1..=32 color groups supported");
+        assert!(num_sets % groups == 0, "{groups} groups must divide {num_sets} sets");
+        assert!(num_sets.is_power_of_two());
+        ColorAssignment {
+            groups,
+            sets_per_group: num_sets / groups,
+            set_bits: num_sets.trailing_zeros(),
+            masks: HashMap::new(),
+            recolored_lines: 0,
+        }
+    }
+
+    /// Number of color groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Assigns `mask` (bit `g` = group `g` allowed) to address space
+    /// `asid`. Returns the previous mask if one was set — callers model
+    /// the recoloring cost when it changes.
+    ///
+    /// # Panics
+    /// Panics if the mask is empty or grants unknown groups.
+    pub fn assign(&mut self, asid: u16, mask: u32) -> Option<u32> {
+        assert!(mask != 0, "an address space needs at least one color");
+        assert!(
+            self.groups == 32 || mask < (1u32 << self.groups),
+            "mask grants groups beyond the {} available",
+            self.groups
+        );
+        self.masks.insert(asid, mask)
+    }
+
+    /// The mask for `asid` (all groups if never assigned).
+    pub fn mask_of(&self, asid: u16) -> u32 {
+        self.masks.get(&asid).copied().unwrap_or(if self.groups == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.groups) - 1
+        })
+    }
+
+    /// Maps `line` to its colored effective address: the set-index bits
+    /// are forced into one of the space's allowed groups, and the full
+    /// original offset moves into the tag bits (so distinct lines stay
+    /// distinct).
+    ///
+    /// The mapping is deterministic per line — the model's analog of a
+    /// page's physical frame being fixed at allocation.
+    pub fn effective_line(&self, line: LineAddr) -> LineAddr {
+        let mask = self.mask_of(line.asid());
+        let allowed = mask.count_ones() as u64;
+        let h = mix64(line.offset());
+        // Pick the (h % allowed)-th set group from the mask.
+        let mut pick = h % allowed;
+        let mut group = 0usize;
+        for g in 0..self.groups {
+            if (mask >> g) & 1 == 1 {
+                if pick == 0 {
+                    group = g;
+                    break;
+                }
+                pick -= 1;
+            }
+        }
+        let set_in_group = (h >> 32) % self.sets_per_group as u64;
+        let set = group as u64 * self.sets_per_group as u64 + set_in_group;
+        LineAddr::in_space(line.asid(), (line.offset() << self.set_bits) | set)
+    }
+
+    /// Recovers the original line from a colored effective address.
+    pub fn original_line(&self, effective: LineAddr) -> LineAddr {
+        LineAddr::in_space(effective.asid(), effective.offset() >> self.set_bits)
+    }
+
+    /// Records that `lines` cache lines' worth of pages were physically
+    /// copied to new frames (the recoloring cost the paper's §7 cites).
+    pub fn charge_recolor(&mut self, lines: u64) {
+        self.recolored_lines += lines;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> ColorAssignment {
+        ColorAssignment::new(256, 16) // 16 sets per group
+    }
+
+    #[test]
+    fn default_mask_allows_all_groups() {
+        let c = ca();
+        assert_eq!(c.mask_of(5), 0xFFFF);
+    }
+
+    #[test]
+    fn effective_lines_land_in_allowed_groups() {
+        let mut c = ca();
+        c.assign(1, 0b0000_0000_0000_1111); // groups 0..4 → sets 0..64
+        for i in 0..1000u64 {
+            let eff = c.effective_line(LineAddr::in_space(1, i));
+            let set = eff.offset() & 0xFF;
+            assert!(set < 64, "line {i} colored into set {set}");
+        }
+    }
+
+    #[test]
+    fn disjoint_masks_keep_spaces_apart() {
+        let mut c = ca();
+        c.assign(1, 0x00FF);
+        c.assign(2, 0xFF00);
+        for i in 0..500u64 {
+            let s1 = c.effective_line(LineAddr::in_space(1, i)).offset() & 0xFF;
+            let s2 = c.effective_line(LineAddr::in_space(2, i)).offset() & 0xFF;
+            assert!(s1 < 128 && s2 >= 128);
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_invertible() {
+        let c = ca();
+        let line = LineAddr::in_space(3, 0xABCDE);
+        let e1 = c.effective_line(line);
+        let e2 = c.effective_line(line);
+        assert_eq!(e1, e2);
+        assert_eq!(c.original_line(e1), line);
+    }
+
+    #[test]
+    fn distinct_lines_stay_distinct() {
+        let mut c = ca();
+        c.assign(1, 0b1); // a single group: maximum collision pressure
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(c.effective_line(LineAddr::in_space(1, i))), "collision at line {i}");
+        }
+    }
+
+    #[test]
+    fn reassignment_returns_previous_mask() {
+        let mut c = ca();
+        assert_eq!(c.assign(1, 0x000F), None);
+        assert_eq!(c.assign(1, 0x00F0), Some(0x000F));
+        c.charge_recolor(512);
+        assert_eq!(c.recolored_lines, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn empty_mask_rejected() {
+        let mut c = ca();
+        c.assign(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn groups_must_divide_sets() {
+        let _ = ColorAssignment::new(100, 16);
+    }
+}

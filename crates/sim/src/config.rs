@@ -1,0 +1,222 @@
+//! Machine configuration and the Sandy Bridge preset.
+//!
+//! [`MachineConfig::sandy_bridge`] reproduces the platform of §2.1: 4
+//! quad-issue out-of-order cores with 2 hyperthreads each, 32 KB private L1
+//! data caches, 256 KB private L2s, and a 12-way 6 MB inclusive LLC shared
+//! over a ring. [`MachineConfig::scaled`] shrinks cache capacities (keeping
+//! associativity) for fast tests; workloads shrink their working sets by the
+//! same factor so capacity *ratios* — which drive every result in the paper
+//! — are preserved.
+
+use crate::addr::IndexHash;
+use crate::cache::{CacheGeometry, ReplPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Load-to-use and miss latencies, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Extra cycles charged for an L1 hit beyond the pipelined base CPI.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// LLC hit latency (before ring queueing).
+    pub llc_hit: u64,
+    /// DRAM access latency (before queueing).
+    pub dram: u64,
+}
+
+/// DRAM channel model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Sustainable bandwidth in cache lines per core cycle (all channels).
+    ///
+    /// Dual-channel DDR3-1600 ≈ 25 GB/s ≈ 0.11 lines/cycle at 3.4 GHz.
+    pub lines_per_cycle: f64,
+    /// Cap on the queueing latency multiplier when the channel saturates.
+    pub max_queue_mult: f64,
+}
+
+/// Ring interconnect model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// LLC request slots per core cycle across the ring.
+    pub requests_per_cycle: f64,
+    /// Cap on the LLC-access queueing multiplier.
+    pub max_queue_mult: f64,
+}
+
+/// Simultaneous-multithreading model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmtConfig {
+    /// Factor by which one hyperthread's *compute* cycles dilate when its
+    /// sibling is active (shared issue slots). 1.45 gives a per-core
+    /// throughput gain of 2/1.45 ≈ 1.38× from enabling the second thread,
+    /// in line with the scaling the paper observes from hyperthread pairs.
+    pub compute_dilation: f64,
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of physical cores.
+    pub cores: usize,
+    /// Hardware threads per core.
+    pub threads_per_core: usize,
+    /// Cache line size in bytes (uniform across levels).
+    pub line_bytes: usize,
+    /// Per-core L1 data cache.
+    pub l1: CacheGeometry,
+    /// Per-core L2 cache.
+    pub l2: CacheGeometry,
+    /// Shared, inclusive last-level cache.
+    pub llc: CacheGeometry,
+    pub latency: LatencyConfig,
+    pub dram: DramConfig,
+    pub ring: RingConfig,
+    pub smt: SmtConfig,
+    /// Core frequency in GHz (converts cycles to wall time for energy).
+    pub freq_ghz: f64,
+    /// Simulation quantum in cycles: threads advance round-robin in slices
+    /// of this length, and contention rates update once per quantum.
+    pub quantum_cycles: u64,
+    /// Fraction of a store miss's latency charged as stall (store buffers
+    /// hide most of it).
+    pub store_stall_factor: f64,
+}
+
+impl MachineConfig {
+    /// The prototype platform of the paper (§2.1).
+    pub fn sandy_bridge() -> Self {
+        let line_bytes = 64;
+        MachineConfig {
+            cores: 4,
+            threads_per_core: 2,
+            line_bytes,
+            l1: CacheGeometry {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes,
+                index: IndexHash::Modulo,
+                replacement: ReplPolicy::PseudoLru,
+            },
+            l2: CacheGeometry {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes,
+                index: IndexHash::Modulo,
+                replacement: ReplPolicy::PseudoLru,
+            },
+            llc: CacheGeometry {
+                size_bytes: 6 * 1024 * 1024,
+                ways: 12,
+                line_bytes,
+                index: IndexHash::Hashed,
+                replacement: ReplPolicy::PseudoLru,
+            },
+            latency: LatencyConfig { l1_hit: 0, l2_hit: 12, llc_hit: 30, dram: 190 },
+            dram: DramConfig { lines_per_cycle: 0.11, max_queue_mult: 6.0 },
+            ring: RingConfig { requests_per_cycle: 1.0, max_queue_mult: 3.0 },
+            smt: SmtConfig { compute_dilation: 1.45 },
+            freq_ghz: 3.4,
+            quantum_cycles: 100_000,
+            store_stall_factor: 0.35,
+        }
+    }
+
+    /// A capacity-scaled machine: caches shrink by `div` (associativity and
+    /// latencies unchanged). Use together with equally scaled workloads.
+    ///
+    /// # Panics
+    /// Panics if `div` is zero, not a power of two, or would shrink a cache
+    /// below one set.
+    pub fn scaled(div: usize) -> Self {
+        assert!(div > 0 && div.is_power_of_two(), "scale divisor must be a power of two");
+        let mut cfg = Self::sandy_bridge();
+        for geom in [&mut cfg.l1, &mut cfg.l2, &mut cfg.llc] {
+            geom.size_bytes /= div;
+            assert!(
+                geom.size_bytes >= geom.ways * geom.line_bytes,
+                "scale divisor {div} shrinks a cache below one set"
+            );
+        }
+        cfg
+    }
+
+    /// Total hardware threads on the socket.
+    pub fn hw_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// The core a hardware thread belongs to.
+    pub fn core_of(&self, ht: usize) -> usize {
+        ht / self.threads_per_core
+    }
+
+    /// LLC capacity granted by `ways` ways, in bytes.
+    pub fn llc_bytes_for_ways(&self, ways: usize) -> usize {
+        self.llc.size_bytes * ways / self.llc.ways
+    }
+
+    /// Converts cycles to seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Converts seconds to cycles at the configured frequency.
+    pub fn seconds_to_cycles(&self, secs: f64) -> u64 {
+        (secs * self.freq_ghz * 1e9) as u64
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::sandy_bridge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandy_bridge_geometry() {
+        let cfg = MachineConfig::sandy_bridge();
+        assert_eq!(cfg.hw_threads(), 8);
+        assert_eq!(cfg.llc.num_sets(), 8192);
+        assert_eq!(cfg.l1.num_sets(), 64);
+        assert_eq!(cfg.l2.num_sets(), 512);
+        assert_eq!(cfg.llc_bytes_for_ways(12), 6 * 1024 * 1024);
+        assert_eq!(cfg.llc_bytes_for_ways(1), 512 * 1024);
+    }
+
+    #[test]
+    fn scaled_keeps_ways() {
+        let cfg = MachineConfig::scaled(16);
+        assert_eq!(cfg.llc.ways, 12);
+        assert_eq!(cfg.llc.size_bytes, 6 * 1024 * 1024 / 16);
+        assert_eq!(cfg.llc.num_sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn scale_must_be_power_of_two() {
+        let _ = MachineConfig::scaled(3);
+    }
+
+    #[test]
+    fn core_mapping_follows_hyperthread_pairs() {
+        let cfg = MachineConfig::sandy_bridge();
+        assert_eq!(cfg.core_of(0), 0);
+        assert_eq!(cfg.core_of(1), 0);
+        assert_eq!(cfg.core_of(2), 1);
+        assert_eq!(cfg.core_of(7), 3);
+    }
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        let cfg = MachineConfig::sandy_bridge();
+        let cycles = cfg.seconds_to_cycles(0.25);
+        let secs = cfg.cycles_to_seconds(cycles);
+        assert!((secs - 0.25).abs() < 1e-9);
+    }
+}

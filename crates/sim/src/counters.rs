@@ -1,0 +1,145 @@
+//! Hardware performance-event counters.
+//!
+//! The paper reads the machine's counters through libpfm/perf_events (§2.2).
+//! [`HwCounters`] is the per-hyperthread counter file the `waypart-perfmon`
+//! crate samples; it is maintained inline by the machine on every access.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-hyperthread hardware event counts since machine reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwCounters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Core cycles this thread was executing (including stalls).
+    pub cycles: u64,
+    /// L1 data-cache loads+stores issued.
+    pub l1_accesses: u64,
+    /// L1 misses (== L2 accesses).
+    pub l1_misses: u64,
+    /// L2 misses (== LLC demand accesses over the ring).
+    pub l2_misses: u64,
+    /// LLC demand accesses (same as `l2_misses`, kept separate because the
+    /// real event encodings differ and perfmon exposes both).
+    pub llc_accesses: u64,
+    /// LLC demand misses (→ DRAM reads).
+    pub llc_misses: u64,
+    /// Dirty lines written back to DRAM on behalf of this thread.
+    pub dram_writebacks: u64,
+    /// Prefetch requests issued by this thread's core on its behalf.
+    pub prefetches_issued: u64,
+    /// Prefetched lines that later saw a demand hit before eviction is not
+    /// tracked per line; this counts demand hits on prefetched fills at
+    /// fill-granularity approximation (see `hierarchy`).
+    pub prefetch_hits: u64,
+    /// Non-temporal accesses that bypassed the hierarchy.
+    pub non_temporal: u64,
+}
+
+impl HwCounters {
+    /// LLC misses per kilo-instruction — the paper's central metric (Figs
+    /// 6, 12; Algorithms 6.1/6.2 key off windowed deltas of this value).
+    ///
+    /// Returns 0 when no instructions have retired.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// LLC accesses per kilo-instruction (Table 2 bolds apps above 10).
+    pub fn apki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_accesses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier`, for windowed sampling.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn delta(&self, earlier: &HwCounters) -> HwCounters {
+        debug_assert!(self.instructions >= earlier.instructions);
+        HwCounters {
+            instructions: self.instructions - earlier.instructions,
+            cycles: self.cycles - earlier.cycles,
+            l1_accesses: self.l1_accesses - earlier.l1_accesses,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            llc_accesses: self.llc_accesses - earlier.llc_accesses,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+            dram_writebacks: self.dram_writebacks - earlier.dram_writebacks,
+            prefetches_issued: self.prefetches_issued - earlier.prefetches_issued,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            non_temporal: self.non_temporal - earlier.non_temporal,
+        }
+    }
+
+    /// Element-wise sum, for aggregating an application's threads.
+    pub fn merge(&self, other: &HwCounters) -> HwCounters {
+        HwCounters {
+            instructions: self.instructions + other.instructions,
+            cycles: self.cycles + other.cycles,
+            l1_accesses: self.l1_accesses + other.l1_accesses,
+            l1_misses: self.l1_misses + other.l1_misses,
+            l2_misses: self.l2_misses + other.l2_misses,
+            llc_accesses: self.llc_accesses + other.llc_accesses,
+            llc_misses: self.llc_misses + other.llc_misses,
+            dram_writebacks: self.dram_writebacks + other.dram_writebacks,
+            prefetches_issued: self.prefetches_issued + other.prefetches_issued,
+            prefetch_hits: self.prefetch_hits + other.prefetch_hits,
+            non_temporal: self.non_temporal + other.non_temporal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_and_apki() {
+        let c = HwCounters { instructions: 10_000, llc_misses: 50, llc_accesses: 120, ..Default::default() };
+        assert!((c.mpki() - 5.0).abs() < 1e-12);
+        assert!((c.apki() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instructions_safe() {
+        let c = HwCounters::default();
+        assert_eq!(c.mpki(), 0.0);
+        assert_eq!(c.apki(), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+    }
+
+    #[test]
+    fn delta_and_merge() {
+        let a = HwCounters { instructions: 100, cycles: 200, llc_misses: 10, ..Default::default() };
+        let b = HwCounters { instructions: 300, cycles: 500, llc_misses: 25, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.instructions, 200);
+        assert_eq!(d.llc_misses, 15);
+        let m = a.merge(&b);
+        assert_eq!(m.instructions, 400);
+        assert_eq!(m.cycles, 700);
+    }
+
+    #[test]
+    fn ipc() {
+        let c = HwCounters { instructions: 300, cycles: 150, ..Default::default() };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,566 @@
+//! The three-level cache hierarchy walk.
+//!
+//! [`Hierarchy`] owns the per-core L1 and L2 caches, the shared inclusive
+//! LLC, and the per-core prefetch engines, and implements the full demand
+//! path: L1 → L2 → (ring) → LLC → (DRAM), including
+//!
+//! * write-back dirty-victim cascades at every level,
+//! * **inclusive back-invalidation**: an LLC eviction removes the line from
+//!   every inner cache (the modeled LLC is inclusive, §2.1),
+//! * **way-masked LLC fills**: the requesting core's way allocation
+//!   restricts victim selection in the LLC and nowhere else,
+//! * prefetch issue and fill (prefetches are real fills that consume DRAM
+//!   bandwidth and may pollute).
+
+use crate::addr::LineAddr;
+use crate::cache::SetAssocCache;
+use crate::coloring::ColorAssignment;
+use crate::config::MachineConfig;
+use crate::dram::DramModel;
+use crate::msr::PrefetcherMask;
+use crate::prefetch::{PrefetchEngine, PrefetchLevel, PrefetchRequest};
+use crate::ring::RingModel;
+use crate::stream::Access;
+use crate::umon::UtilityMonitor;
+use crate::waymask::WayMask;
+use crate::CoreId;
+
+/// Where a demand access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared LLC.
+    Llc,
+    /// Off-chip DRAM (LLC miss).
+    Dram,
+    /// Non-temporal access that bypassed the hierarchy entirely.
+    Bypass,
+}
+
+/// Everything the machine needs to charge one demand access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessOutcome {
+    /// Raw latency in cycles (before the issuing thread's MLP division).
+    pub latency: u64,
+    /// Level that satisfied the access.
+    pub level: HitLevel,
+    /// Dirty write-backs to DRAM triggered by this access's fills.
+    pub dram_writebacks: u32,
+    /// Prefetch requests issued while servicing this access.
+    pub prefetches_issued: u32,
+}
+
+/// The socket's cache hierarchy.
+pub struct Hierarchy {
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    engines: Vec<PrefetchEngine>,
+    latency: crate::config::LatencyConfig,
+    cores: usize,
+    /// Scratch buffer for prefetch requests (avoids per-access allocation).
+    pf_buf: Vec<PrefetchRequest>,
+    /// Optional per-core utility monitors (UMON; disabled by default — the
+    /// paper's platform has no such hardware, the UCP baseline needs it).
+    umon: Option<Vec<UtilityMonitor>>,
+    /// Optional page-coloring map (set partitioning, the §7 software
+    /// baseline). Mutually exclusive with hashed LLC indexing.
+    coloring: Option<ColorAssignment>,
+    /// Per-core memory-bandwidth throttle (percent, MBA-style): demand
+    /// DRAM accesses from a throttled core pay `100/percent ×` latency and
+    /// only `percent`% of its prefetches are admitted, which both slows
+    /// the core and relieves the shared channel — the §8 future-work QoS
+    /// knob.
+    mba_percent: Vec<u8>,
+    /// Token buckets for prefetch admission under MBA throttling.
+    pf_admit: Vec<u32>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Hierarchy {
+            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            llc: SetAssocCache::new(cfg.llc),
+            engines: (0..cfg.cores).map(|_| PrefetchEngine::new()).collect(),
+            latency: cfg.latency,
+            cores: cfg.cores,
+            pf_buf: Vec::with_capacity(8),
+            umon: None,
+            coloring: None,
+            mba_percent: vec![100; cfg.cores],
+            pf_admit: vec![0; cfg.cores],
+        }
+    }
+
+    /// Sets core `core`'s memory-bandwidth throttle (percent, 10..=100).
+    pub fn set_mba(&mut self, core: CoreId, percent: u8) {
+        assert!((10..=100).contains(&percent), "MBA throttle {percent}% outside 10..=100");
+        self.mba_percent[core] = percent;
+    }
+
+    /// Applies the core's MBA throttle to a DRAM latency.
+    #[inline]
+    fn throttle(&self, core: CoreId, dram_latency: u64) -> u64 {
+        let pct = u64::from(self.mba_percent[core]);
+        dram_latency * 100 / pct
+    }
+
+    /// Enables page coloring with `groups` color groups.
+    ///
+    /// # Panics
+    /// Panics if the LLC uses a hashed index function — randomized
+    /// indexing scatters page-contiguous lines and defeats coloring, which
+    /// is exactly why the technique stopped working on Sandy Bridge-class
+    /// parts (§7 context).
+    pub fn enable_coloring(&mut self, groups: usize) {
+        assert!(
+            self.llc.geometry().index == crate::addr::IndexHash::Modulo,
+            "page coloring requires a physically indexed (modulo) LLC"
+        );
+        self.coloring = Some(ColorAssignment::new(self.llc.num_sets(), groups));
+    }
+
+    /// The coloring map, if enabled.
+    pub fn coloring(&self) -> Option<&ColorAssignment> {
+        self.coloring.as_ref()
+    }
+
+    /// Mutable access to the coloring map (for assignments/recoloring).
+    pub fn coloring_mut(&mut self) -> Option<&mut ColorAssignment> {
+        self.coloring.as_mut()
+    }
+
+    /// Translates a demand line into LLC (colored) space.
+    #[inline]
+    fn to_llc(&self, line: LineAddr) -> LineAddr {
+        match &self.coloring {
+            Some(c) => c.effective_line(line),
+            None => line,
+        }
+    }
+
+    /// Translates an LLC (colored) line back to program space.
+    #[inline]
+    fn from_llc(&self, line: LineAddr) -> LineAddr {
+        match &self.coloring {
+            Some(c) => c.original_line(line),
+            None => line,
+        }
+    }
+
+    /// Attaches a UMON to every core (idempotent).
+    pub fn enable_umon(&mut self) {
+        if self.umon.is_none() {
+            let sets = self.llc.num_sets();
+            let ways = self.llc.geometry().ways;
+            self.umon = Some((0..self.cores).map(|_| UtilityMonitor::new(sets, ways)).collect());
+        }
+    }
+
+    /// Core `core`'s utility monitor, if enabled.
+    pub fn umon(&self, core: CoreId) -> Option<&UtilityMonitor> {
+        self.umon.as_ref().map(|u| &u[core])
+    }
+
+    /// Decays every monitor's counters (call at each repartition interval).
+    pub fn decay_umons(&mut self) {
+        if let Some(umons) = &mut self.umon {
+            for u in umons {
+                u.decay();
+            }
+        }
+    }
+
+    /// Services a demand access from `core` under LLC way allocation
+    /// `mask`, charging ring/DRAM bandwidth as it goes.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        access: &Access,
+        mask: WayMask,
+        pf_mask: PrefetcherMask,
+        ring: &mut RingModel,
+        dram: &mut DramModel,
+    ) -> AccessOutcome {
+        debug_assert!(core < self.cores);
+
+        if access.non_temporal {
+            // Specially tagged loads/stores stream through memory without
+            // caching (the stream_uncached microbenchmark, §2.3).
+            let latency = self.throttle(core, dram.access(self.latency.dram));
+            return AccessOutcome { latency, level: HitLevel::Bypass, dram_writebacks: 0, prefetches_issued: 0 };
+        }
+
+        let mut writebacks = 0u32;
+
+        // The DCU units observe every L1 access, hit or miss.
+        self.pf_buf.clear();
+        self.engines[core].observe_l1(access.line, access.pc, pf_mask, &mut self.pf_buf);
+
+        let level;
+        let mut latency;
+        if self.l1[core].probe(access.line, access.write).is_some() {
+            level = HitLevel::L1;
+            latency = self.latency.l1_hit;
+        } else {
+            // The MLC units observe L2 accesses (== L1 misses).
+            self.engines[core].observe_l2(access.line, pf_mask, &mut self.pf_buf);
+
+            if self.l2[core].probe(access.line, false).is_some() {
+                level = HitLevel::L2;
+                latency = self.latency.l2_hit;
+            } else {
+                if let Some(umons) = &mut self.umon {
+                    let set = self.llc.geometry().index.index(access.line, self.llc.num_sets());
+                    umons[core].observe(access.line, set);
+                }
+                latency = ring.access(self.latency.llc_hit);
+                let llc_line = self.to_llc(access.line);
+                if self.llc.probe(llc_line, false).is_some() {
+                    level = HitLevel::Llc;
+                } else {
+                    level = HitLevel::Dram;
+                    latency += self.throttle(core, dram.access(self.latency.dram));
+                    writebacks += self.fill_llc(core, llc_line, mask, dram);
+                }
+                writebacks += self.fill_l2(core, access.line, false, dram);
+            }
+            writebacks += self.fill_l1(core, access.line, access.write, dram);
+        }
+
+        // Issue the collected prefetches after the demand access.
+        let issued = self.pf_buf.len() as u32;
+        let reqs = std::mem::take(&mut self.pf_buf);
+        for req in &reqs {
+            writebacks += self.issue_prefetch(core, req, mask, ring, dram);
+        }
+        self.pf_buf = reqs;
+
+        AccessOutcome { latency, level, dram_writebacks: writebacks, prefetches_issued: issued }
+    }
+
+    /// Fills `line` (already in LLC/colored space) into the LLC under
+    /// `mask`; handles inclusive back-invalidation and the dirty
+    /// write-back of the victim. Returns DRAM write-backs performed.
+    fn fill_llc(&mut self, core: CoreId, line: LineAddr, mask: WayMask, dram: &mut DramModel) -> u32 {
+        let mut writebacks = 0;
+        if let Some(ev) = self.llc.fill(line, mask, false, core as u8) {
+            let mut victim_dirty = ev.dirty;
+            // Inclusion: the victim vanishes from every inner cache (which
+            // hold *program-space* lines — translate back from LLC space).
+            // A dirty inner copy is the freshest; it must reach DRAM.
+            let victim_program_line = self.from_llc(ev.line);
+            for c in 0..self.cores {
+                if let Some(inner) = self.l1[c].invalidate(victim_program_line) {
+                    victim_dirty |= inner.dirty;
+                }
+                if let Some(inner) = self.l2[c].invalidate(victim_program_line) {
+                    victim_dirty |= inner.dirty;
+                }
+            }
+            if victim_dirty {
+                dram.consume();
+                writebacks += 1;
+            }
+        }
+        writebacks
+    }
+
+    /// Fills into `core`'s L2, cascading the dirty victim to the LLC (or
+    /// DRAM if the LLC no longer holds it).
+    fn fill_l2(&mut self, core: CoreId, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
+        let mut writebacks = 0;
+        let full = WayMask::all(self.l2[core].geometry().ways);
+        if let Some(ev) = self.l2[core].fill(line, full, dirty, core as u8) {
+            if ev.dirty {
+                let llc_line = self.to_llc(ev.line);
+                if self.llc.probe(llc_line, true).is_none() {
+                    // Inclusion violation can't normally happen; treat as a
+                    // direct write-back for robustness.
+                    dram.consume();
+                    writebacks += 1;
+                }
+            }
+        }
+        writebacks
+    }
+
+    /// Fills into `core`'s L1, cascading the dirty victim to L2.
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
+        let mut writebacks = 0;
+        let full = WayMask::all(self.l1[core].geometry().ways);
+        if let Some(ev) = self.l1[core].fill(line, full, dirty, core as u8) {
+            if ev.dirty {
+                if self.l2[core].probe(ev.line, true).is_none() {
+                    writebacks += self.fill_l2(core, ev.line, true, dram);
+                }
+            }
+        }
+        writebacks
+    }
+
+    /// Executes one prefetch request; returns DRAM write-backs caused.
+    ///
+    /// Prefetches that would miss to DRAM are *dropped* when the channel
+    /// is near saturation — hardware prefetchers throttle under load, and
+    /// this is what exposes streaming applications to bandwidth contention
+    /// (Fig 4): once a co-runner saturates the channel, their prefetch
+    /// cover disappears and demand misses pay the inflated latency.
+    fn issue_prefetch(
+        &mut self,
+        core: CoreId,
+        req: &PrefetchRequest,
+        mask: WayMask,
+        ring: &mut RingModel,
+        dram: &mut DramModel,
+    ) -> u32 {
+        /// DRAM utilization above which DRAM-bound prefetches are dropped.
+        const PREFETCH_DROP_UTILIZATION: f64 = 0.92;
+        // MBA admission: a core throttled to p% issues only p% of its
+        // prefetches (token bucket, deterministic).
+        let pct = u32::from(self.mba_percent[core]);
+        if pct < 100 {
+            self.pf_admit[core] += pct;
+            if self.pf_admit[core] < 100 {
+                return 0;
+            }
+            self.pf_admit[core] -= 100;
+        }
+        let mut writebacks = 0;
+        let line = req.line;
+        let in_l2 = self.l2[core].contains(line);
+        let llc_line = self.to_llc(line);
+        let in_llc = in_l2 || self.llc.contains(llc_line);
+        if !in_llc {
+            if dram.utilization() > PREFETCH_DROP_UTILIZATION {
+                return 0;
+            }
+            ring.access(0);
+            dram.consume();
+            writebacks += self.fill_llc(core, llc_line, mask, dram);
+        }
+        match req.level {
+            PrefetchLevel::L1 => {
+                if !in_l2 {
+                    writebacks += self.fill_l2(core, line, false, dram);
+                }
+                if !self.l1[core].contains(line) {
+                    writebacks += self.fill_l1(core, line, false, dram);
+                }
+            }
+            PrefetchLevel::L2 => {
+                if !in_l2 {
+                    writebacks += self.fill_l2(core, line, false, dram);
+                }
+            }
+        }
+        writebacks
+    }
+
+    /// LLC lines currently owned (filled) by `core`.
+    pub fn llc_occupancy_of(&self, core: CoreId) -> usize {
+        self.llc.occupancy_of(core as u8)
+    }
+
+    /// Total valid LLC lines.
+    pub fn llc_occupancy(&self) -> usize {
+        self.llc.occupancy()
+    }
+
+    /// Read-only view of the LLC (for invariant checks in tests).
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
+    /// Read-only views of a core's private caches.
+    pub fn l1(&self, core: CoreId) -> &SetAssocCache {
+        &self.l1[core]
+    }
+
+    /// Read-only view of a core's L2.
+    pub fn l2(&self, core: CoreId) -> &SetAssocCache {
+        &self.l2[core]
+    }
+
+    /// Per-core prefetch engine statistics.
+    pub fn engine(&self, core: CoreId) -> &PrefetchEngine {
+        &self.engines[core]
+    }
+
+    /// Flushes `core`-owned LLC lines outside `mask` (ablation: the real
+    /// mechanism never flushes on reallocation). Dropped dirty lines are
+    /// written back. Returns lines flushed.
+    pub fn flush_llc_outside_mask(&mut self, core: CoreId, mask: WayMask, dram: &mut DramModel) -> usize {
+        let dropped_dirty = self.llc.flush_owned_outside(core as u8, mask);
+        for _ in 0..dropped_dirty {
+            dram.consume();
+        }
+        dropped_dirty
+    }
+}
+
+impl std::fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("cores", &self.cores)
+            .field("llc_occupancy", &self.llc.occupancy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn tiny() -> (Hierarchy, RingModel, DramModel, MachineConfig) {
+        let cfg = MachineConfig::scaled(64);
+        let h = Hierarchy::new(&cfg);
+        let ring = RingModel::new(cfg.ring);
+        let dram = DramModel::new(cfg.dram);
+        (h, ring, dram, cfg)
+    }
+
+    fn plain(line: LineAddr) -> Access {
+        Access { line, write: false, pc: 3, non_temporal: false, mlp: 1.0 }
+    }
+
+    #[test]
+    fn first_touch_misses_to_dram_then_hits_l1() {
+        let (mut h, mut ring, mut dram, _) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        let a = plain(LineAddr::in_space(0, 123));
+        let o1 = h.access(0, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+        assert_eq!(o1.level, HitLevel::Dram);
+        assert!(o1.latency >= 190);
+        let o2 = h.access(0, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+        assert_eq!(o2.level, HitLevel::L1);
+        assert_eq!(o2.latency, 0);
+    }
+
+    #[test]
+    fn cross_core_data_hits_in_llc() {
+        let (mut h, mut ring, mut dram, _) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        let a = plain(LineAddr::in_space(0, 9));
+        h.access(0, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+        // A different core finds the line in the (shared) LLC, not DRAM.
+        let o = h.access(3, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+        assert_eq!(o.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn non_temporal_bypasses_and_consumes_bandwidth() {
+        let (mut h, mut ring, mut dram, _) = tiny();
+        let pf = PrefetcherMask::all_enabled();
+        let mut a = plain(LineAddr::in_space(0, 77));
+        a.non_temporal = true;
+        let before = dram.total_lines;
+        let o = h.access(0, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+        assert_eq!(o.level, HitLevel::Bypass);
+        assert_eq!(dram.total_lines, before + 1);
+        // Nothing cached anywhere.
+        assert!(!h.l1(0).contains(a.line));
+        assert!(!h.llc().contains(a.line));
+    }
+
+    #[test]
+    fn inclusive_back_invalidation() {
+        let (mut h, mut ring, mut dram, cfg) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        let victim = LineAddr::in_space(0, 0);
+        h.access(0, &plain(victim), WayMask::all(12), pf, &mut ring, &mut dram);
+        assert!(h.l1(0).contains(victim));
+
+        // Thrash the LLC from core 1 with the full mask until `victim`
+        // leaves the LLC; its L1 copy on core 0 must vanish with it.
+        let llc_lines = (cfg.llc.size_bytes / cfg.line_bytes) as u64;
+        for i in 1..llc_lines * 4 {
+            h.access(1, &plain(LineAddr::in_space(0, i)), WayMask::all(12), pf, &mut ring, &mut dram);
+            if !h.llc().contains(victim) {
+                break;
+            }
+        }
+        assert!(!h.llc().contains(victim), "victim never evicted from LLC");
+        assert!(!h.l1(0).contains(victim), "inclusion violated: L1 copy outlived LLC eviction");
+        assert!(!h.l2(0).contains(victim), "inclusion violated: L2 copy outlived LLC eviction");
+    }
+
+    #[test]
+    fn way_mask_confines_thrashing() {
+        let (mut h, mut ring, mut dram, cfg) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        // Core 0 owns ways 0..6; fill a small resident set.
+        let fg_mask = WayMask::contiguous(0, 6);
+        let bg_mask = WayMask::contiguous(6, 6);
+        let resident: Vec<LineAddr> = (0..64u64).map(|i| LineAddr::in_space(1, i)).collect();
+        for r in &resident {
+            h.access(0, &plain(*r), fg_mask, pf, &mut ring, &mut dram);
+        }
+        // Core 2 thrashes with 4× LLC worth of lines, confined to its ways.
+        let llc_lines = (cfg.llc.size_bytes / cfg.line_bytes) as u64;
+        for i in 0..llc_lines * 4 {
+            h.access(2, &plain(LineAddr::in_space(2, i)), bg_mask, pf, &mut ring, &mut dram);
+        }
+        let survivors = resident.iter().filter(|r| h.llc().contains(**r)).count();
+        assert_eq!(survivors, resident.len(), "partitioned thrashing evicted foreground lines");
+    }
+
+    #[test]
+    fn shared_mask_lets_thrashing_evict() {
+        let (mut h, mut ring, mut dram, cfg) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        let all = WayMask::all(12);
+        let resident: Vec<LineAddr> = (0..64u64).map(|i| LineAddr::in_space(1, i)).collect();
+        for r in &resident {
+            h.access(0, &plain(*r), all, pf, &mut ring, &mut dram);
+        }
+        let llc_lines = (cfg.llc.size_bytes / cfg.line_bytes) as u64;
+        for i in 0..llc_lines * 4 {
+            h.access(2, &plain(LineAddr::in_space(2, i)), all, pf, &mut ring, &mut dram);
+        }
+        let survivors = resident.iter().filter(|r| h.llc().contains(**r)).count();
+        assert!(survivors < resident.len() / 2, "{survivors} survivors under shared thrashing");
+    }
+
+    #[test]
+    fn prefetch_fills_convert_misses_to_hits() {
+        let (mut h, mut ring, mut dram, _) = tiny();
+        let pf = PrefetcherMask::all_enabled();
+        // A long sequential walk: after the streamer warms up, most
+        // accesses should hit in L1/L2 thanks to prefetching.
+        let mut dram_hits = 0;
+        for i in 0..512u64 {
+            let mut a = plain(LineAddr::in_space(0, i));
+            a.pc = 7;
+            let o = h.access(0, &a, WayMask::all(12), pf, &mut ring, &mut dram);
+            if i >= 64 && o.level == HitLevel::Dram {
+                dram_hits += 1;
+            }
+        }
+        assert!(dram_hits < 150, "prefetchers left {dram_hits} DRAM accesses in the steady state");
+        assert!(h.engine(0).total_issued() > 0);
+    }
+
+    #[test]
+    fn dirty_lines_write_back_on_llc_eviction() {
+        let (mut h, mut ring, mut dram, cfg) = tiny();
+        let pf = PrefetcherMask::all_disabled();
+        let mut w = plain(LineAddr::in_space(0, 5));
+        w.write = true;
+        h.access(0, &w, WayMask::all(12), pf, &mut ring, &mut dram);
+        // Evict everything via thrashing and count write-backs.
+        let llc_lines = (cfg.llc.size_bytes / cfg.line_bytes) as u64;
+        let mut wbs = 0;
+        for i in 100..100 + llc_lines * 4 {
+            let o = h.access(1, &plain(LineAddr::in_space(3, i)), WayMask::all(12), pf, &mut ring, &mut dram);
+            wbs += o.dram_writebacks;
+        }
+        assert!(wbs >= 1, "dirty line evicted without write-back");
+    }
+}

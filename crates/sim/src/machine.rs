@@ -1,0 +1,536 @@
+//! The simulated socket: cores, hyperthreads, and the quantum scheduler.
+//!
+//! [`Machine`] ties the hierarchy, bandwidth models, MSR bank, and
+//! performance counters together and advances attached
+//! [`AccessStream`](crate::stream::AccessStream)s in fixed-length quanta.
+//! Within a quantum each hardware thread runs independently against
+//! contention multipliers measured over the previous quantum — the standard
+//! interval-simulation trade-off that keeps multi-application co-simulation
+//! fast while preserving steady-state contention effects.
+//!
+//! Applications are identified by their address-space id (`asid`); an
+//! application "finishes" when every thread attached under its asid has
+//! returned [`StreamEvent::Done`](crate::stream::StreamEvent::Done).
+
+use crate::config::MachineConfig;
+use crate::counters::HwCounters;
+use crate::dram::DramModel;
+use crate::hierarchy::{AccessOutcome, Hierarchy, HitLevel};
+use crate::msr::{MsrBank, PrefetcherMask};
+use crate::ring::RingModel;
+use crate::stream::{AccessStream, StreamEvent};
+use crate::waymask::WayMask;
+use crate::{CoreId, Cycles, HwThreadId};
+
+/// One hardware thread's execution context.
+struct ThreadSlot {
+    stream: Box<dyn AccessStream>,
+    asid: u16,
+    done: bool,
+    /// Cycles this thread overshot its previous quantum by.
+    carry: f64,
+}
+
+/// Activity summary for one quantum, consumed by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuantumActivity {
+    /// Length of the quantum in cycles.
+    pub cycles: Cycles,
+    /// Number of hyperthreads that executed this quantum.
+    pub active_threads: usize,
+    /// Number of cores with at least one active hyperthread.
+    pub active_cores: usize,
+    /// Instructions retired socket-wide this quantum.
+    pub instructions: u64,
+    /// LLC accesses this quantum.
+    pub llc_accesses: u64,
+    /// DRAM line transfers this quantum (reads + write-backs + prefetches).
+    pub dram_lines: u64,
+    /// True when at least one thread is still runnable.
+    pub any_active: bool,
+}
+
+/// The simulated 4-core / 8-thread socket.
+pub struct Machine {
+    cfg: MachineConfig,
+    hierarchy: Hierarchy,
+    ring: RingModel,
+    dram: DramModel,
+    msr: MsrBank,
+    threads: Vec<Option<ThreadSlot>>,
+    counters: Vec<HwCounters>,
+    now: Cycles,
+    /// Cycle at which each asid's last thread finished.
+    finish_times: std::collections::HashMap<u16, Cycles>,
+}
+
+impl Machine {
+    /// Builds an idle machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.hw_threads();
+        Machine {
+            hierarchy: Hierarchy::new(&cfg),
+            ring: RingModel::new(cfg.ring),
+            dram: DramModel::new(cfg.dram),
+            msr: MsrBank::new(cfg.cores, cfg.llc.ways),
+            threads: (0..n).map(|_| None).collect(),
+            counters: vec![HwCounters::default(); n],
+            now: 0,
+            finish_times: std::collections::HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current wall-clock cycle.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Pins `stream` to hardware thread `ht` under address space `asid`
+    /// (the simulator's `taskset`).
+    ///
+    /// # Panics
+    /// Panics if `ht` is out of range or already occupied.
+    pub fn attach(&mut self, ht: HwThreadId, asid: u16, stream: Box<dyn AccessStream>) {
+        assert!(ht < self.threads.len(), "hardware thread {ht} out of range");
+        assert!(self.threads[ht].is_none(), "hardware thread {ht} already occupied");
+        self.threads[ht] = Some(ThreadSlot { stream, asid, done: false, carry: 0.0 });
+        self.finish_times.remove(&asid);
+    }
+
+    /// Removes whatever runs on `ht`.
+    pub fn detach(&mut self, ht: HwThreadId) {
+        self.threads[ht] = None;
+    }
+
+    /// Programs core `core`'s LLC way allocation (via the MSR bank; takes
+    /// effect on the next replacement, no flush).
+    pub fn set_way_mask(&mut self, core: CoreId, mask: WayMask) {
+        self.msr.set_way_mask(core, mask);
+    }
+
+    /// Core `core`'s current way allocation.
+    pub fn way_mask(&self, core: CoreId) -> WayMask {
+        self.msr.way_mask(core)
+    }
+
+    /// Programs the prefetcher enable MSR bits.
+    pub fn set_prefetchers(&mut self, mask: PrefetcherMask) {
+        self.msr.set_prefetchers(mask);
+    }
+
+    /// Programs core `core`'s memory-bandwidth throttle (MBA analog,
+    /// percent of full bandwidth) — the §8 future-work QoS knob.
+    pub fn set_mba(&mut self, core: CoreId, percent: u8) {
+        self.msr.set_mba(core, percent);
+        self.hierarchy.set_mba(core, percent);
+    }
+
+    /// Core `core`'s current bandwidth throttle.
+    pub fn mba(&self, core: CoreId) -> u8 {
+        self.msr.mba(core)
+    }
+
+    /// Counter file of hardware thread `ht`.
+    pub fn counters(&self, ht: HwThreadId) -> &HwCounters {
+        &self.counters[ht]
+    }
+
+    /// Aggregated counters of every thread attached under `asid`.
+    pub fn app_counters(&self, asid: u16) -> HwCounters {
+        let mut total = HwCounters::default();
+        for (ht, slot) in self.threads.iter().enumerate() {
+            if let Some(s) = slot {
+                if s.asid == asid {
+                    total = total.merge(&self.counters[ht]);
+                }
+            }
+        }
+        total
+    }
+
+    /// Whether every thread of `asid` has finished.
+    pub fn app_done(&self, asid: u16) -> bool {
+        let mut saw = false;
+        for slot in self.threads.iter().flatten() {
+            if slot.asid == asid {
+                saw = true;
+                if !slot.done {
+                    return false;
+                }
+            }
+        }
+        saw
+    }
+
+    /// Cycle at which `asid`'s last thread finished, if it has.
+    pub fn finish_time(&self, asid: u16) -> Option<Cycles> {
+        self.finish_times.get(&asid).copied()
+    }
+
+    /// Whether any attached thread is still runnable.
+    pub fn any_active(&self) -> bool {
+        self.threads.iter().flatten().any(|s| !s.done)
+    }
+
+    /// LLC lines currently owned by `core`'s fills.
+    pub fn llc_occupancy_of(&self, core: CoreId) -> usize {
+        self.hierarchy.llc_occupancy_of(core)
+    }
+
+    /// The hierarchy (for invariant checks and ablations).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Enables per-core utility monitors (for the UCP baseline).
+    pub fn enable_umon(&mut self) {
+        self.hierarchy.enable_umon();
+    }
+
+    /// Core `core`'s utility monitor, if enabled.
+    pub fn umon(&self, core: CoreId) -> Option<&crate::umon::UtilityMonitor> {
+        self.hierarchy.umon(core)
+    }
+
+    /// Decays all utility-monitor counters (UCP repartition interval).
+    pub fn decay_umons(&mut self) {
+        self.hierarchy.decay_umons();
+    }
+
+    /// Enables page coloring (set partitioning) with `groups` color
+    /// groups. Requires a modulo-indexed LLC; see
+    /// [`crate::coloring::ColorAssignment`].
+    pub fn enable_coloring(&mut self, groups: usize) {
+        self.hierarchy.enable_coloring(groups);
+    }
+
+    /// Assigns color groups to an address space; returns the previous
+    /// mask so callers can model the recoloring (page-copy) cost.
+    ///
+    /// # Panics
+    /// Panics if coloring is not enabled.
+    pub fn assign_colors(&mut self, asid: u16, mask: u32) -> Option<u32> {
+        self.hierarchy
+            .coloring_mut()
+            .expect("enable_coloring first")
+            .assign(asid, mask)
+    }
+
+    /// Flushes `core`-owned LLC lines outside its current mask — the
+    /// "flush on reallocation" ablation. The real mechanism never does
+    /// this.
+    pub fn flush_llc_outside_mask(&mut self, core: CoreId) {
+        let mask = self.msr.way_mask(core);
+        self.hierarchy.flush_llc_outside_mask(core, mask, &mut self.dram);
+    }
+
+    /// Advances every runnable thread by one quantum and updates the
+    /// bandwidth models. Returns the quantum's activity summary.
+    pub fn run_quantum(&mut self) -> QuantumActivity {
+        let quantum = self.cfg.quantum_cycles;
+        let tpc = self.cfg.threads_per_core;
+        let dram_before = self.dram.total_lines;
+
+        // Sibling activity decides SMT dilation for the whole quantum.
+        let active: Vec<bool> =
+            self.threads.iter().map(|s| s.as_ref().map(|t| !t.done).unwrap_or(false)).collect();
+
+        let mut act = QuantumActivity { cycles: quantum, any_active: false, ..Default::default() };
+        let mut core_active = vec![false; self.cfg.cores];
+
+        for ht in 0..self.threads.len() {
+            if !active[ht] {
+                continue;
+            }
+            act.any_active = true;
+            act.active_threads += 1;
+            let core = ht / tpc;
+            core_active[core] = true;
+
+            let sibling_active = (0..tpc).any(|t| {
+                let other = core * tpc + t;
+                other != ht && active[other]
+            });
+            let dilation =
+                if sibling_active { self.cfg.smt.compute_dilation } else { 1.0 };
+
+            let before = self.counters[ht];
+            let finished = self.run_thread_quantum(ht, core, quantum, dilation);
+            let delta = self.counters[ht].delta(&before);
+            act.instructions += delta.instructions;
+            act.llc_accesses += delta.llc_accesses;
+
+            if finished {
+                let slot = self.threads[ht].as_mut().expect("active thread");
+                slot.done = true;
+                let asid = slot.asid;
+                if self.app_done(asid) {
+                    self.finish_times.insert(asid, self.now + quantum);
+                }
+            }
+        }
+
+        act.active_cores = core_active.iter().filter(|&&a| a).count();
+        act.dram_lines = self.dram.total_lines - dram_before;
+
+        self.ring.end_quantum(quantum);
+        self.dram.end_quantum(quantum);
+        self.now += quantum;
+        act
+    }
+
+    /// Runs thread `ht` for up to `quantum` cycles. Returns true if the
+    /// stream completed.
+    fn run_thread_quantum(&mut self, ht: HwThreadId, core: CoreId, quantum: Cycles, dilation: f64) -> bool {
+        let budget = quantum as f64;
+        let mask = self.msr.way_mask(core);
+        let pf_mask = self.msr.prefetchers();
+        let store_stall = self.cfg.store_stall_factor;
+
+        // Temporarily take the slot to satisfy the borrow checker while the
+        // hierarchy runs; cheap pointer moves only.
+        let mut slot = self.threads[ht].take().expect("runnable thread");
+        let cpi = slot.stream.base_cpi() * dilation;
+        let mut used = slot.carry;
+        let counters = &mut self.counters[ht];
+        let mut finished = false;
+
+        while used < budget {
+            match slot.stream.next_event() {
+                StreamEvent::Compute { instrs } => {
+                    counters.instructions += u64::from(instrs);
+                    used += f64::from(instrs) * cpi;
+                }
+                StreamEvent::Access { instr_gap, access } => {
+                    counters.instructions += u64::from(instr_gap) + 1;
+                    used += (f64::from(instr_gap) + 1.0) * cpi;
+                    let outcome =
+                        self.hierarchy.access(core, &access, mask, pf_mask, &mut self.ring, &mut self.dram);
+                    Self::charge(counters, &access, &outcome, store_stall, &mut used);
+                }
+                StreamEvent::Done => {
+                    finished = true;
+                    break;
+                }
+            }
+        }
+
+        slot.carry = (used - budget).max(0.0);
+        counters.cycles += if finished { used.min(budget) as u64 } else { quantum };
+        self.threads[ht] = Some(slot);
+        finished
+    }
+
+    /// Updates `counters` and the thread's consumed cycles for one access.
+    fn charge(
+        counters: &mut HwCounters,
+        access: &crate::stream::Access,
+        outcome: &AccessOutcome,
+        store_stall_factor: f64,
+        used: &mut f64,
+    ) {
+        counters.l1_accesses += 1;
+        match outcome.level {
+            HitLevel::L1 => {}
+            HitLevel::L2 => {
+                counters.l1_misses += 1;
+            }
+            HitLevel::Llc => {
+                counters.l1_misses += 1;
+                counters.l2_misses += 1;
+                counters.llc_accesses += 1;
+            }
+            HitLevel::Dram => {
+                counters.l1_misses += 1;
+                counters.l2_misses += 1;
+                counters.llc_accesses += 1;
+                counters.llc_misses += 1;
+            }
+            HitLevel::Bypass => {
+                // Non-temporal references still appear as LLC traffic on
+                // the uncore counters (they cross the ring and miss).
+                counters.llc_accesses += 1;
+                counters.llc_misses += 1;
+                counters.non_temporal += 1;
+            }
+        }
+        counters.dram_writebacks += u64::from(outcome.dram_writebacks);
+        counters.prefetches_issued += u64::from(outcome.prefetches_issued);
+
+        let mlp = f64::from(access.mlp.max(1.0));
+        let mut stall = outcome.latency as f64 / mlp;
+        if access.write && !access.non_temporal {
+            stall *= store_stall_factor;
+        }
+        *used += stall;
+    }
+
+    /// Runs quanta until no thread is runnable or `max_quanta` elapse.
+    /// Returns the number of quanta executed.
+    pub fn run_to_completion(&mut self, max_quanta: u64) -> u64 {
+        let mut n = 0;
+        while n < max_quanta {
+            let act = self.run_quantum();
+            n += 1;
+            if !act.any_active {
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("threads", &self.threads.iter().filter(|t| t.is_some()).count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SequentialStream;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::scaled(64))
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let mut m = machine();
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 128, 10_000, 10)));
+        let quanta = m.run_to_completion(100_000);
+        assert!(quanta > 0);
+        assert!(m.app_done(1));
+        assert!(m.finish_time(1).is_some());
+        let c = m.counters(0);
+        assert_eq!(c.instructions, 10_000 * 11);
+        assert!(c.cycles > 0);
+        assert!(c.l1_accesses == 10_000);
+    }
+
+    #[test]
+    fn repeated_small_working_set_hits_cache() {
+        let mut m = machine();
+        // 32 lines fits in L1: after warmup everything hits.
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 32, 50_000, 5)));
+        m.run_to_completion(100_000);
+        let c = m.counters(0);
+        assert!(c.llc_misses < 200, "llc misses {} too high for L1-resident set", c.llc_misses);
+    }
+
+    #[test]
+    fn smt_sibling_dilates_compute() {
+        // Same workload alone vs with a sibling on the same core: the
+        // shared-core run must take longer per thread.
+        let mut alone = machine();
+        alone.attach(0, 1, Box::new(SequentialStream::new(1, 32, 20_000, 20)));
+        alone.run_to_completion(100_000);
+        let t_alone = alone.finish_time(1).unwrap();
+
+        let mut shared = machine();
+        shared.attach(0, 1, Box::new(SequentialStream::new(1, 32, 20_000, 20)));
+        shared.attach(1, 2, Box::new(SequentialStream::new(2, 32, 20_000, 20)));
+        shared.run_to_completion(100_000);
+        let t_shared = shared.finish_time(1).unwrap();
+
+        assert!(t_shared > t_alone, "SMT sharing must dilate compute ({t_shared} <= {t_alone})");
+        // But both threads together beat two sequential runs.
+        assert!((t_shared as f64) < 2.0 * t_alone as f64);
+    }
+
+    #[test]
+    fn separate_cores_do_not_dilate() {
+        let mut m = machine();
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 32, 20_000, 20)));
+        m.attach(2, 2, Box::new(SequentialStream::new(2, 32, 20_000, 20)));
+        m.run_to_completion(100_000);
+        let t = m.finish_time(1).unwrap();
+
+        let mut alone = machine();
+        alone.attach(0, 1, Box::new(SequentialStream::new(1, 32, 20_000, 20)));
+        alone.run_to_completion(100_000);
+        let t_alone = alone.finish_time(1).unwrap();
+
+        // Small working sets on separate cores barely interact.
+        let ratio = t as f64 / t_alone as f64;
+        assert!(ratio < 1.1, "cross-core interference {ratio} too high for tiny working sets");
+    }
+
+    #[test]
+    fn app_counters_aggregate_threads() {
+        let mut m = machine();
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 32, 5_000, 10)));
+        m.attach(2, 1, Box::new(SequentialStream::new(1, 32, 5_000, 10)));
+        m.run_to_completion(100_000);
+        let total = m.app_counters(1);
+        assert_eq!(total.l1_accesses, 10_000);
+    }
+
+    #[test]
+    fn quantum_activity_reports_threads_and_cores() {
+        let mut m = machine();
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 32, 1_000_000, 10)));
+        m.attach(1, 1, Box::new(SequentialStream::new(1, 32, 1_000_000, 10)));
+        m.attach(4, 2, Box::new(SequentialStream::new(2, 32, 1_000_000, 10)));
+        let act = m.run_quantum();
+        assert_eq!(act.active_threads, 3);
+        assert_eq!(act.active_cores, 2);
+        assert!(act.instructions > 0);
+        assert!(act.any_active);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_attach_rejected() {
+        let mut m = machine();
+        m.attach(0, 1, Box::new(SequentialStream::new(1, 32, 10, 1)));
+        m.attach(0, 2, Box::new(SequentialStream::new(2, 32, 10, 1)));
+    }
+
+    #[test]
+    fn mba_throttle_slows_memory_bound_thread() {
+        // A DRAM-bound stream at 25% bandwidth must run measurably slower
+        // than unthrottled, and the knob must not touch other cores.
+        let llc_lines = MachineConfig::scaled(64).llc.size_bytes as u64 / 64;
+        let run = |throttle: Option<u8>| {
+            let mut m = machine();
+            if let Some(p) = throttle {
+                m.set_mba(0, p);
+            }
+            m.attach(0, 1, Box::new(SequentialStream::new(1, llc_lines * 8, 30_000, 2)));
+            m.run_to_completion(200_000);
+            m.finish_time(1).unwrap()
+        };
+        let free = run(None);
+        let throttled = run(Some(25));
+        assert!(
+            throttled as f64 > free as f64 * 1.3,
+            "25% MBA throttle only slowed {free} → {throttled}"
+        );
+    }
+
+    #[test]
+    fn way_mask_programming_reaches_llc() {
+        let mut m = machine();
+        m.set_way_mask(0, WayMask::contiguous(0, 3));
+        assert_eq!(m.way_mask(0).count(), 3);
+        // Attach a stream bigger than 3 ways' worth of LLC: occupancy of
+        // core 0 must max out near 3/12 of the LLC.
+        let llc_lines = m.config().llc.size_bytes / m.config().line_bytes;
+        m.attach(0, 1, Box::new(SequentialStream::new(1, llc_lines as u64 * 2, 400_000, 0)));
+        m.run_to_completion(200_000);
+        let occ = m.llc_occupancy_of(0);
+        let limit = llc_lines * 3 / 12;
+        assert!(occ <= limit + llc_lines / 64, "occupancy {occ} exceeds 3-way share {limit}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulated machine-state registers.
+//!
+//! The prototype exposes its knobs through MSRs: the four hardware
+//! prefetchers are enabled/disabled by setting MSR bits (§3.3), and the
+//! customized BIOS exposes per-core LLC way-allocation registers (§2.1).
+//! [`MsrBank`] is the software-visible control surface of the simulated
+//! machine; the partitioning policies in `waypart-core` program it exactly
+//! the way the paper's framework programs the real registers.
+
+use crate::waymask::WayMask;
+use serde::{Deserialize, Serialize};
+
+/// The four Sandy Bridge hardware prefetchers (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prefetcher {
+    /// Per-core L1 (DCU) IP-prefetcher: sequential load history per PC.
+    DcuIp,
+    /// L1 (DCU) streamer: multiple reads to one line trigger next-line
+    /// prefetch.
+    DcuStreamer,
+    /// Mid-level-cache spatial prefetcher: adjacent-line pairs into L2.
+    MlcSpatial,
+    /// Mid-level-cache streamer: ascending-stream detection into L2.
+    MlcStreamer,
+}
+
+impl Prefetcher {
+    /// All four prefetchers.
+    pub const ALL: [Prefetcher; 4] =
+        [Prefetcher::DcuIp, Prefetcher::DcuStreamer, Prefetcher::MlcSpatial, Prefetcher::MlcStreamer];
+
+    fn bit(self) -> u8 {
+        match self {
+            Prefetcher::DcuIp => 0,
+            Prefetcher::DcuStreamer => 1,
+            Prefetcher::MlcSpatial => 2,
+            Prefetcher::MlcStreamer => 3,
+        }
+    }
+}
+
+/// Enable mask over the four prefetchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetcherMask(u8);
+
+impl PrefetcherMask {
+    /// All prefetchers enabled (the machine's reset state).
+    pub fn all_enabled() -> Self {
+        PrefetcherMask(0b1111)
+    }
+
+    /// All prefetchers disabled.
+    pub fn all_disabled() -> Self {
+        PrefetcherMask(0)
+    }
+
+    /// Enables or disables one prefetcher, returning the new mask.
+    #[must_use]
+    pub fn with(self, p: Prefetcher, enabled: bool) -> Self {
+        if enabled {
+            PrefetcherMask(self.0 | (1 << p.bit()))
+        } else {
+            PrefetcherMask(self.0 & !(1 << p.bit()))
+        }
+    }
+
+    /// Whether `p` is enabled.
+    pub fn enabled(self, p: Prefetcher) -> bool {
+        (self.0 >> p.bit()) & 1 == 1
+    }
+}
+
+impl Default for PrefetcherMask {
+    fn default() -> Self {
+        Self::all_enabled()
+    }
+}
+
+/// The machine's control-register bank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsrBank {
+    way_masks: Vec<WayMask>,
+    prefetchers: PrefetcherMask,
+    llc_ways: usize,
+    /// Per-core memory-bandwidth throttle in percent (10..=100). The
+    /// paper's §8 names bandwidth QoS as the missing hardware knob; Intel
+    /// later shipped exactly this as Memory Bandwidth Allocation (MBA).
+    mba_percent: Vec<u8>,
+}
+
+impl MsrBank {
+    /// Reset state: every core owns all LLC ways; all prefetchers on;
+    /// no bandwidth throttling.
+    pub fn new(cores: usize, llc_ways: usize) -> Self {
+        MsrBank {
+            way_masks: vec![WayMask::all(llc_ways); cores],
+            prefetchers: PrefetcherMask::all_enabled(),
+            llc_ways,
+            mba_percent: vec![100; cores],
+        }
+    }
+
+    /// Programs core `core`'s memory-bandwidth throttle (MBA-style):
+    /// `percent` of unthrottled request bandwidth, 10..=100.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range or `percent` is outside 10..=100.
+    pub fn set_mba(&mut self, core: usize, percent: u8) {
+        assert!(core < self.mba_percent.len(), "core {core} out of range");
+        assert!((10..=100).contains(&percent), "MBA throttle {percent}% outside 10..=100");
+        self.mba_percent[core] = percent;
+    }
+
+    /// Core `core`'s current bandwidth throttle.
+    pub fn mba(&self, core: usize) -> u8 {
+        self.mba_percent[core]
+    }
+
+    /// Programs core `core`'s LLC way allocation.
+    ///
+    /// Takes effect on the next replacement — existing lines are never
+    /// flushed, matching the hardware (§2.1: "Data is not flushed when the
+    /// way allocation changes").
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range or `mask` grants ways beyond the
+    /// LLC's associativity.
+    pub fn set_way_mask(&mut self, core: usize, mask: WayMask) {
+        assert!(core < self.way_masks.len(), "core {core} out of range");
+        assert!(
+            mask.bits() < (1u32 << self.llc_ways),
+            "mask {mask} grants ways beyond the {}-way LLC",
+            self.llc_ways
+        );
+        self.way_masks[core] = mask;
+    }
+
+    /// Core `core`'s current LLC way allocation.
+    pub fn way_mask(&self, core: usize) -> WayMask {
+        self.way_masks[core]
+    }
+
+    /// Reprograms the prefetcher enable bits.
+    pub fn set_prefetchers(&mut self, mask: PrefetcherMask) {
+        self.prefetchers = mask;
+    }
+
+    /// Current prefetcher enable bits.
+    pub fn prefetchers(&self) -> PrefetcherMask {
+        self.prefetchers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_grants_everything() {
+        let b = MsrBank::new(4, 12);
+        for c in 0..4 {
+            assert_eq!(b.way_mask(c).count(), 12);
+        }
+        for p in Prefetcher::ALL {
+            assert!(b.prefetchers().enabled(p));
+        }
+    }
+
+    #[test]
+    fn way_mask_programming() {
+        let mut b = MsrBank::new(4, 12);
+        b.set_way_mask(1, WayMask::contiguous(0, 3));
+        assert_eq!(b.way_mask(1).count(), 3);
+        assert_eq!(b.way_mask(0).count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the 12-way")]
+    fn mask_beyond_associativity_rejected() {
+        let mut b = MsrBank::new(4, 12);
+        b.set_way_mask(0, WayMask::contiguous(6, 7));
+    }
+
+    #[test]
+    fn mba_programming_and_validation() {
+        let mut b = MsrBank::new(4, 12);
+        assert_eq!(b.mba(0), 100);
+        b.set_mba(2, 30);
+        assert_eq!(b.mba(2), 30);
+        assert_eq!(b.mba(0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 10..=100")]
+    fn mba_rejects_full_stall() {
+        let mut b = MsrBank::new(4, 12);
+        b.set_mba(0, 0);
+    }
+
+    #[test]
+    fn prefetcher_toggling() {
+        let mut m = PrefetcherMask::all_enabled();
+        m = m.with(Prefetcher::MlcStreamer, false);
+        assert!(!m.enabled(Prefetcher::MlcStreamer));
+        assert!(m.enabled(Prefetcher::DcuIp));
+        m = m.with(Prefetcher::MlcStreamer, true);
+        assert!(m.enabled(Prefetcher::MlcStreamer));
+    }
+}

@@ -1,0 +1,170 @@
+//! Tree pseudo-LRU replacement with way-mask-restricted victim selection.
+//!
+//! The modeled LLC uses pseudo-LRU (§3.2 credits pseudo-LRU as one of the
+//! reasons real machines show no sharp working-set knees). Partitioning is
+//! implemented *in the replacement path*: victim selection is restricted to
+//! the requesting core's allowed ways, while the recency state is still
+//! updated globally on hits from any core.
+//!
+//! The tree is a complete binary tree over `ways.next_power_of_two()`
+//! leaves; each internal node holds one bit pointing toward the
+//! least-recently-used half.
+
+/// Per-set tree-PLRU state for up to 16 ways.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlruTree {
+    /// Bit for heap node `i` (1-based) is stored at bit `i` of `bits`.
+    /// Convention: bit 0 → left child is the LRU side, 1 → right child.
+    bits: u16,
+}
+
+impl PlruTree {
+    /// A tree with all bits cleared (way 0 is the initial victim).
+    pub fn new() -> Self {
+        PlruTree { bits: 0 }
+    }
+
+    /// Marks `way` as most recently used: flips path bits to point away
+    /// from it. `leaves` must be the power-of-two leaf count used for
+    /// victim selection.
+    #[inline]
+    pub fn touch(&mut self, way: usize, leaves: usize) {
+        debug_assert!(leaves.is_power_of_two() && leaves <= 16);
+        debug_assert!(way < leaves);
+        let (mut lo, mut hi) = (0usize, leaves);
+        let mut node = 1usize;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // `way` is on the left: the LRU side becomes the right.
+                self.bits |= 1 << node;
+                node = 2 * node;
+                hi = mid;
+            } else {
+                self.bits &= !(1 << node);
+                node = 2 * node + 1;
+                lo = mid;
+            }
+        }
+    }
+
+    /// Selects a victim among ways permitted by `allowed` (a bitmask over
+    /// leaf indices), following LRU-side bits and deviating only when the
+    /// preferred subtree contains no permitted way.
+    ///
+    /// Returns `None` when `allowed` is empty.
+    #[inline]
+    pub fn victim(&self, allowed: u32, leaves: usize) -> Option<usize> {
+        debug_assert!(leaves.is_power_of_two() && leaves <= 16);
+        if allowed == 0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, leaves);
+        let mut node = 1usize;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let left_mask = range_mask(lo, mid);
+            let right_mask = range_mask(mid, hi);
+            let prefer_right = (self.bits >> node) & 1 == 1;
+            let go_right = if prefer_right {
+                allowed & right_mask != 0
+            } else {
+                allowed & left_mask == 0
+            };
+            if go_right {
+                node = 2 * node + 1;
+                lo = mid;
+            } else {
+                node = 2 * node;
+                hi = mid;
+            }
+        }
+        if (allowed >> lo) & 1 == 1 {
+            Some(lo)
+        } else {
+            // The chosen leaf is disallowed only if the whole path had no
+            // allowed option, which the checks above exclude; keep a
+            // defensive fallback to the lowest allowed way.
+            Some(allowed.trailing_zeros() as usize)
+        }
+    }
+}
+
+/// Bitmask with bits `[lo, hi)` set.
+#[inline]
+fn range_mask(lo: usize, hi: usize) -> u32 {
+    debug_assert!(lo < hi && hi <= 32);
+    let hi_bits = if hi == 32 { u32::MAX } else { (1u32 << hi) - 1 };
+    hi_bits & !((1u32 << lo) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_victimizes_way_zero() {
+        let t = PlruTree::new();
+        assert_eq!(t.victim(0xFFFF, 16), Some(0));
+    }
+
+    #[test]
+    fn touch_steers_victim_away() {
+        let mut t = PlruTree::new();
+        t.touch(0, 8);
+        let v = t.victim(0xFF, 8).unwrap();
+        assert_ne!(v, 0);
+        // Touching the victim too must move selection elsewhere.
+        t.touch(v, 8);
+        let v2 = t.victim(0xFF, 8).unwrap();
+        assert_ne!(v2, v);
+    }
+
+    #[test]
+    fn masked_victim_respects_mask() {
+        let mut t = PlruTree::new();
+        for w in 0..8 {
+            t.touch(w, 8);
+        }
+        for mask in 1u32..256 {
+            let v = t.victim(mask, 8).unwrap();
+            assert!((mask >> v) & 1 == 1, "victim {v} not in mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_returns_none() {
+        let t = PlruTree::new();
+        assert_eq!(t.victim(0, 8), None);
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_round_robin() {
+        // Touch ways 0..7 in order; the victim should be way 0 (the least
+        // recently touched) for a true LRU; tree-PLRU guarantees it here
+        // because the access pattern is a clean sweep.
+        let mut t = PlruTree::new();
+        for w in 0..8 {
+            t.touch(w, 8);
+        }
+        assert_eq!(t.victim(0xFF, 8), Some(0));
+    }
+
+    #[test]
+    fn single_way_mask_always_selected() {
+        let mut t = PlruTree::new();
+        for w in [3usize, 1, 4, 1, 5] {
+            t.touch(w, 8);
+        }
+        for w in 0..8 {
+            assert_eq!(t.victim(1 << w, 8), Some(w));
+        }
+    }
+
+    #[test]
+    fn range_mask_edges() {
+        assert_eq!(range_mask(0, 32), u32::MAX);
+        assert_eq!(range_mask(0, 1), 1);
+        assert_eq!(range_mask(4, 8), 0xF0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The interface between workloads and the machine.
+//!
+//! A hardware thread executes an [`AccessStream`]: a deterministic generator
+//! that interleaves instruction bursts with memory accesses. The simulator
+//! charges compute cycles for the instruction gaps and walks the cache
+//! hierarchy for each access. Streams are how the `waypart-workloads` crate
+//! plugs its 45 synthetic application models into the machine without the
+//! simulator knowing anything about applications.
+
+use crate::addr::LineAddr;
+
+/// One memory reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Access {
+    /// The referenced line.
+    pub line: LineAddr,
+    /// Store (true) or load (false).
+    pub write: bool,
+    /// Issuing instruction address, used by the per-PC (IP) prefetcher.
+    pub pc: u32,
+    /// Non-temporal access: bypasses all cache levels and goes straight to
+    /// DRAM (models the specially tagged loads/stores of the
+    /// `stream_uncached` bandwidth hog, §2.3).
+    pub non_temporal: bool,
+    /// Memory-level parallelism: how many misses of this kind the core can
+    /// overlap. Stall time charged is `latency / mlp`. Pointer-chasing
+    /// streams use 1.0 (fully serialized); software-pipelined streaming
+    /// loops use values up to ~8.
+    pub mlp: f32,
+}
+
+impl Access {
+    /// A plain dependent load with no overlap.
+    pub fn load(line: LineAddr) -> Self {
+        Access { line, write: false, pc: 0, non_temporal: false, mlp: 1.0 }
+    }
+}
+
+/// What a hardware thread does next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// Execute `instr_gap` instructions, then perform `access`.
+    ///
+    /// The gap instructions are charged at the stream's base CPI (dilated
+    /// when the sibling hyperthread is active); the access adds memory
+    /// stall cycles on top.
+    Access { instr_gap: u32, access: Access },
+    /// Execute `instrs` instructions with no memory reference (the
+    /// cache-resident tail of the instruction mix).
+    Compute { instrs: u32 },
+    /// The thread has retired all its work.
+    Done,
+}
+
+/// A deterministic instruction/access generator driven by the machine.
+///
+/// Implementations live in `waypart-workloads`. Streams must be
+/// deterministic given their construction parameters so experiments are
+/// reproducible; use seeded RNGs internally.
+pub trait AccessStream {
+    /// Produces the next event. Once `Done` is returned, subsequent calls
+    /// must keep returning `Done`.
+    fn next_event(&mut self) -> StreamEvent;
+
+    /// Cycles per instruction for compute (non-stalled) work.
+    fn base_cpi(&self) -> f64;
+
+    /// Instructions retired so far (for throughput counters; the machine
+    /// also counts retirement itself, this is for streams that want to
+    /// expose progress such as phase position).
+    fn instructions_issued(&self) -> u64 {
+        0
+    }
+}
+
+/// A trivial stream for tests: `n` sequential loads over a working set,
+/// `gap` instructions apart.
+#[derive(Debug, Clone)]
+pub struct SequentialStream {
+    asid: u16,
+    next_line: u64,
+    ws_lines: u64,
+    remaining: u64,
+    gap: u32,
+    cpi: f64,
+    issued: u64,
+}
+
+impl SequentialStream {
+    /// Creates a stream of `accesses` sequential loads cycling over
+    /// `ws_lines` lines of address space `asid`, with `gap` instructions
+    /// between accesses.
+    pub fn new(asid: u16, ws_lines: u64, accesses: u64, gap: u32) -> Self {
+        assert!(ws_lines > 0, "working set must be non-empty");
+        SequentialStream { asid, next_line: 0, ws_lines, remaining: accesses, gap, cpi: 1.0, issued: 0 }
+    }
+}
+
+impl AccessStream for SequentialStream {
+    fn next_event(&mut self) -> StreamEvent {
+        if self.remaining == 0 {
+            return StreamEvent::Done;
+        }
+        self.remaining -= 1;
+        let line = LineAddr::in_space(self.asid, self.next_line);
+        self.next_line = (self.next_line + 1) % self.ws_lines;
+        self.issued += u64::from(self.gap) + 1;
+        StreamEvent::Access {
+            instr_gap: self.gap,
+            access: Access { line, write: false, pc: 1, non_temporal: false, mlp: 4.0 },
+        }
+    }
+
+    fn base_cpi(&self) -> f64 {
+        self.cpi
+    }
+
+    fn instructions_issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_wraps_and_finishes() {
+        let mut s = SequentialStream::new(1, 4, 6, 10);
+        let mut lines = Vec::new();
+        loop {
+            match s.next_event() {
+                StreamEvent::Access { access, instr_gap } => {
+                    assert_eq!(instr_gap, 10);
+                    lines.push(access.line.offset());
+                }
+                StreamEvent::Done => break,
+                StreamEvent::Compute { .. } => unreachable!(),
+            }
+        }
+        assert_eq!(lines, vec![0, 1, 2, 3, 0, 1]);
+        assert_eq!(s.next_event(), StreamEvent::Done);
+        assert_eq!(s.instructions_issued(), 66);
+    }
+}

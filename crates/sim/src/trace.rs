@@ -1,0 +1,286 @@
+//! Access-trace capture and replay.
+//!
+//! The simulator is execution-driven, but trace-driven workflows are often
+//! what downstream users need: capture one run's exact memory behaviour,
+//! archive it, and replay it against modified hardware configurations so
+//! that *only* the hardware changes between experiments (the methodology
+//! trade-off §2's real-hardware argument is about).
+//!
+//! [`TraceRecorder`] wraps any [`AccessStream`] and records every event;
+//! the resulting [`Trace`] serializes to a compact little-endian binary
+//! format and replays through [`TraceReplay`].
+
+use crate::addr::LineAddr;
+use crate::stream::{Access, AccessStream, StreamEvent};
+
+/// One recorded stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Record {
+    Access { instr_gap: u32, access: Access },
+    Compute { instrs: u32 },
+}
+
+/// A captured access trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    records: Vec<Record>,
+    base_cpi: f64,
+}
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 4] = b"WPT1";
+
+/// Errors from decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer did not start with the format magic.
+    BadMagic,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// An unknown record tag was encountered.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::BadMagic => write!(f, "not a waypart trace (bad magic)"),
+            DecodeTraceError::Truncated => write!(f, "trace truncated mid-record"),
+            DecodeTraceError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions the trace represents.
+    pub fn instructions(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                Record::Access { instr_gap, .. } => u64::from(*instr_gap) + 1,
+                Record::Compute { instrs } => u64::from(*instrs),
+            })
+            .sum()
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.records.len() * 20);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.base_cpi.to_le_bytes());
+        for r in &self.records {
+            match r {
+                Record::Compute { instrs } => {
+                    out.push(0);
+                    out.extend_from_slice(&instrs.to_le_bytes());
+                }
+                Record::Access { instr_gap, access } => {
+                    out.push(1);
+                    out.extend_from_slice(&instr_gap.to_le_bytes());
+                    out.extend_from_slice(&access.line.0.to_le_bytes());
+                    out.extend_from_slice(&access.pc.to_le_bytes());
+                    out.extend_from_slice(&access.mlp.to_le_bytes());
+                    out.push(u8::from(access.write) | (u8::from(access.non_temporal) << 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a serialized trace.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeTraceError> {
+        if bytes.len() < 12 || &bytes[..4] != MAGIC {
+            return Err(DecodeTraceError::BadMagic);
+        }
+        let base_cpi = f64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let mut records = Vec::new();
+        let mut i = 12usize;
+        let take = |i: &mut usize, n: usize| -> Result<&[u8], DecodeTraceError> {
+            if *i + n > bytes.len() {
+                return Err(DecodeTraceError::Truncated);
+            }
+            let s = &bytes[*i..*i + n];
+            *i += n;
+            Ok(s)
+        };
+        while i < bytes.len() {
+            let tag = take(&mut i, 1)?[0];
+            match tag {
+                0 => {
+                    let instrs = u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4"));
+                    records.push(Record::Compute { instrs });
+                }
+                1 => {
+                    let instr_gap = u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4"));
+                    let line = u64::from_le_bytes(take(&mut i, 8)?.try_into().expect("8"));
+                    let pc = u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4"));
+                    let mlp = f32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4"));
+                    let flags = take(&mut i, 1)?[0];
+                    records.push(Record::Access {
+                        instr_gap,
+                        access: Access {
+                            line: LineAddr(line),
+                            write: flags & 1 == 1,
+                            pc,
+                            non_temporal: flags & 2 == 2,
+                            mlp,
+                        },
+                    });
+                }
+                t => return Err(DecodeTraceError::UnknownTag(t)),
+            }
+        }
+        Ok(Trace { records, base_cpi })
+    }
+
+    /// A replaying stream over this trace.
+    pub fn replay(&self) -> TraceReplay {
+        TraceReplay { trace: self.clone(), pos: 0, issued: 0 }
+    }
+}
+
+/// Wraps a stream and records everything it emits.
+pub struct TraceRecorder<S> {
+    inner: S,
+    trace: Trace,
+}
+
+impl<S: AccessStream> TraceRecorder<S> {
+    /// Starts recording `inner`.
+    pub fn new(inner: S) -> Self {
+        let base_cpi = inner.base_cpi();
+        TraceRecorder { inner, trace: Trace { records: Vec::new(), base_cpi } }
+    }
+
+    /// Stops recording and returns the captured trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl<S: AccessStream> AccessStream for TraceRecorder<S> {
+    fn next_event(&mut self) -> StreamEvent {
+        let e = self.inner.next_event();
+        match e {
+            StreamEvent::Access { instr_gap, access } => {
+                self.trace.records.push(Record::Access { instr_gap, access })
+            }
+            StreamEvent::Compute { instrs } => self.trace.records.push(Record::Compute { instrs }),
+            StreamEvent::Done => {}
+        }
+        e
+    }
+
+    fn base_cpi(&self) -> f64 {
+        self.inner.base_cpi()
+    }
+}
+
+/// Replays a [`Trace`] as an [`AccessStream`].
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    pos: usize,
+    issued: u64,
+}
+
+impl AccessStream for TraceReplay {
+    fn next_event(&mut self) -> StreamEvent {
+        match self.trace.records.get(self.pos) {
+            None => StreamEvent::Done,
+            Some(&Record::Access { instr_gap, access }) => {
+                self.pos += 1;
+                self.issued += u64::from(instr_gap) + 1;
+                StreamEvent::Access { instr_gap, access }
+            }
+            Some(&Record::Compute { instrs }) => {
+                self.pos += 1;
+                self.issued += u64::from(instrs);
+                StreamEvent::Compute { instrs }
+            }
+        }
+    }
+
+    fn base_cpi(&self) -> f64 {
+        self.trace.base_cpi
+    }
+
+    fn instructions_issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SequentialStream;
+
+    fn record_all(mut rec: TraceRecorder<SequentialStream>) -> Trace {
+        while rec.next_event() != StreamEvent::Done {}
+        rec.into_trace()
+    }
+
+    #[test]
+    fn recorder_captures_everything() {
+        let trace = record_all(TraceRecorder::new(SequentialStream::new(1, 16, 100, 5)));
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.instructions(), 600);
+    }
+
+    #[test]
+    fn replay_reproduces_the_stream() {
+        let trace = record_all(TraceRecorder::new(SequentialStream::new(1, 16, 50, 3)));
+        let mut original = SequentialStream::new(1, 16, 50, 3);
+        let mut replay = trace.replay();
+        loop {
+            let a = original.next_event();
+            let b = replay.next_event();
+            assert_eq!(a, b);
+            if a == StreamEvent::Done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let trace = record_all(TraceRecorder::new(SequentialStream::new(3, 8, 40, 2)));
+        let bytes = trace.to_bytes();
+        let decoded = Trace::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Trace::from_bytes(b"nope").unwrap_err(), DecodeTraceError::BadMagic);
+        let trace = record_all(TraceRecorder::new(SequentialStream::new(1, 8, 3, 1)));
+        let mut bytes = trace.to_bytes();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Trace::from_bytes(&bytes).unwrap_err(), DecodeTraceError::Truncated);
+        let mut bad_tag = trace.to_bytes();
+        let tag_pos = 12;
+        bad_tag[tag_pos] = 9;
+        assert_eq!(Trace::from_bytes(&bad_tag).unwrap_err(), DecodeTraceError::UnknownTag(9));
+    }
+
+    #[test]
+    fn replay_is_rewindable_via_clone() {
+        let trace = record_all(TraceRecorder::new(SequentialStream::new(1, 8, 10, 1)));
+        let mut r1 = trace.replay();
+        let first = r1.next_event();
+        let mut r2 = trace.replay();
+        assert_eq!(r2.next_event(), first);
+    }
+}

@@ -1,0 +1,204 @@
+//! Utility monitors (UMON) — the hardware the paper's §7 baseline needs.
+//!
+//! Qureshi & Patt's utility-based cache partitioning (UCP, MICRO 2006),
+//! which the paper discusses as prior simulation-based work [29], requires
+//! per-core *utility monitors*: small shadow tag directories that sample a
+//! subset of LLC sets, track them with true LRU at full associativity, and
+//! count hits per recency position. The counters give each core's
+//! miss-rate-versus-ways curve ("stack distance histogram") without
+//! perturbing the real cache.
+//!
+//! The paper pointedly notes such hardware "require[s] hardware
+//! modifications and will not work on current processors" (§7) — its own
+//! controller needs only MPKI counters. Implementing UMON lets the
+//! reproduction compare both (see `waypart-core::ucp`).
+
+use crate::addr::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Sample one out of this many LLC sets (UMON-DSS's dynamic set sampling).
+pub const SAMPLING_RATIO: usize = 32;
+
+/// One sampled set's true-LRU shadow stack.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ShadowSet {
+    /// Tags, most recently used first; at most `ways` entries.
+    stack: Vec<u64>,
+}
+
+/// A per-core utility monitor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilityMonitor {
+    ways: usize,
+    num_sets: usize,
+    sampled: Vec<ShadowSet>,
+    /// `hits[d]` = hits at stack depth `d` (0 = MRU). A hit at depth `d`
+    /// would be captured by any allocation of more than `d` ways.
+    hits: Vec<u64>,
+    /// Accesses that missed the full-associativity shadow stack.
+    misses: u64,
+    /// Total accesses observed (sampled sets only).
+    accesses: u64,
+}
+
+impl UtilityMonitor {
+    /// A monitor for an LLC with `num_sets` sets and `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "empty monitor geometry");
+        let sampled_count = (num_sets / SAMPLING_RATIO).max(1);
+        UtilityMonitor {
+            ways,
+            num_sets,
+            sampled: vec![ShadowSet::default(); sampled_count],
+            hits: vec![0; ways],
+            misses: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Observes one LLC access by the owning core. Only accesses that map
+    /// to a sampled set update the monitor.
+    pub fn observe(&mut self, line: LineAddr, set_index: usize) {
+        debug_assert!(set_index < self.num_sets);
+        if set_index % SAMPLING_RATIO != 0 {
+            return;
+        }
+        let slot = (set_index / SAMPLING_RATIO) % self.sampled.len();
+        let set = &mut self.sampled[slot];
+        self.accesses += 1;
+        match set.stack.iter().position(|&t| t == line.0) {
+            Some(depth) => {
+                self.hits[depth] += 1;
+                let tag = set.stack.remove(depth);
+                set.stack.insert(0, tag);
+            }
+            None => {
+                self.misses += 1;
+                set.stack.insert(0, line.0);
+                set.stack.truncate(self.ways);
+            }
+        }
+    }
+
+    /// Hits this core would see with a `ways`-way allocation (cumulative
+    /// stack-distance counts).
+    ///
+    /// # Panics
+    /// Panics if `ways` exceeds the monitored associativity.
+    pub fn hits_with_ways(&self, ways: usize) -> u64 {
+        assert!(ways <= self.ways, "allocation beyond monitored associativity");
+        self.hits[..ways].iter().sum()
+    }
+
+    /// Marginal utility of growing an allocation from `from` to `to` ways
+    /// (extra hits gained), as used by UCP's lookahead algorithm.
+    pub fn marginal_utility(&self, from: usize, to: usize) -> u64 {
+        assert!(from <= to, "shrinking has no utility");
+        self.hits_with_ways(to) - self.hits_with_ways(from)
+    }
+
+    /// Total sampled accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Sampled misses at full associativity.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Halves every counter — UCP's periodic decay so the curves track
+    /// phase changes.
+    pub fn decay(&mut self) {
+        for h in &mut self.hits {
+            *h /= 2;
+        }
+        self.misses /= 2;
+        self.accesses /= 2;
+    }
+
+    /// Monitored associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> UtilityMonitor {
+        UtilityMonitor::new(SAMPLING_RATIO * 4, 4)
+    }
+
+    #[test]
+    fn only_sampled_sets_count() {
+        let mut m = mon();
+        m.observe(LineAddr(1), 0); // sampled
+        m.observe(LineAddr(2), 1); // not sampled
+        m.observe(LineAddr(3), SAMPLING_RATIO); // sampled
+        assert_eq!(m.accesses(), 2);
+    }
+
+    #[test]
+    fn stack_depth_counts_hits() {
+        let mut m = mon();
+        // Touch A, B, then A again: A hits at depth 1.
+        m.observe(LineAddr(0xA), 0);
+        m.observe(LineAddr(0xB), 0);
+        m.observe(LineAddr(0xA), 0);
+        assert_eq!(m.hits_with_ways(1), 0, "A was not MRU when re-touched");
+        assert_eq!(m.hits_with_ways(2), 1);
+        assert_eq!(m.misses(), 2);
+    }
+
+    #[test]
+    fn mru_hit_counts_at_depth_zero() {
+        let mut m = mon();
+        m.observe(LineAddr(0xA), 0);
+        m.observe(LineAddr(0xA), 0);
+        assert_eq!(m.hits_with_ways(1), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let mut m = mon();
+        for i in 0..5u64 {
+            m.observe(LineAddr(i), 0); // 4-way stack: line 0 falls out
+        }
+        m.observe(LineAddr(0), 0);
+        assert_eq!(m.hits_with_ways(4), 0, "evicted line must miss");
+        assert_eq!(m.misses(), 6);
+    }
+
+    #[test]
+    fn marginal_utility_is_monotone_cumulative() {
+        let mut m = mon();
+        let lines = [1u64, 2, 3, 1, 2, 3, 1, 2, 3];
+        for &l in &lines {
+            m.observe(LineAddr(l), 0);
+        }
+        let total = m.hits_with_ways(4);
+        assert_eq!(m.marginal_utility(0, 4), total);
+        assert!(m.marginal_utility(0, 3) <= total);
+        assert_eq!(
+            m.marginal_utility(0, 2) + m.marginal_utility(2, 4),
+            total
+        );
+    }
+
+    #[test]
+    fn decay_halves_counters() {
+        let mut m = mon();
+        m.observe(LineAddr(7), 0);
+        m.observe(LineAddr(7), 0);
+        m.observe(LineAddr(7), 0);
+        assert_eq!(m.hits_with_ways(4), 2);
+        m.decay();
+        assert_eq!(m.hits_with_ways(4), 1);
+        assert_eq!(m.accesses(), 1);
+    }
+}

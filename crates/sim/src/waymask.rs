@@ -1,0 +1,151 @@
+//! Per-core LLC way-allocation masks.
+//!
+//! The prototype's partitioning mechanism is *way-based* and implemented in
+//! the replacement path: each core is assigned a subset of the LLC's 12
+//! ways. Allocations may be private, fully shared, or overlapping. All cores
+//! hit on data in any way; a core only *replaces* data within its assigned
+//! ways, and nothing is flushed when the assignment changes (§2.1).
+//! [`WayMask`] captures one core's assignment.
+
+use serde::{Deserialize, Serialize};
+
+/// A bitmask over cache ways; bit `i` set means way `i` may be replaced
+/// into by the owning core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WayMask(u32);
+
+impl WayMask {
+    /// Mask granting all `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if `ways` is 0 or greater than 32.
+    pub fn all(ways: usize) -> Self {
+        assert!(ways > 0 && ways <= 32, "way count {ways} out of range");
+        WayMask(if ways == 32 { u32::MAX } else { (1 << ways) - 1 })
+    }
+
+    /// Mask granting the contiguous range of ways `[start, start + count)`.
+    ///
+    /// Contiguous ranges are how the paper's experiments slice the LLC
+    /// between a foreground and a background partition.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or extends past way 32.
+    pub fn contiguous(start: usize, count: usize) -> Self {
+        assert!(count > 0, "empty way mask");
+        assert!(start + count <= 32, "way range out of bounds");
+        let bits = if count == 32 { u32::MAX } else { (1 << count) - 1 };
+        WayMask(bits << start)
+    }
+
+    /// Builds a mask from raw bits.
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero: a core must always be able to allocate
+    /// somewhere, otherwise it could never fill a line it misses on.
+    pub fn from_bits(bits: u32) -> Self {
+        assert!(bits != 0, "a way mask must grant at least one way");
+        WayMask(bits)
+    }
+
+    /// The raw bits of the mask.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of ways granted.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether way `w` is allocatable under this mask.
+    #[inline]
+    pub fn allows(self, w: usize) -> bool {
+        w < 32 && (self.0 >> w) & 1 == 1
+    }
+
+    /// The union of two masks (overlapping allocations are permitted by the
+    /// hardware mechanism).
+    #[inline]
+    pub fn union(self, other: WayMask) -> WayMask {
+        WayMask(self.0 | other.0)
+    }
+
+    /// Whether the two masks share any way.
+    #[inline]
+    pub fn overlaps(self, other: WayMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterates over the way indices granted by this mask.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..32).filter(move |&w| self.allows(w))
+    }
+}
+
+impl Default for WayMask {
+    /// The default mask grants all 12 ways of the modeled LLC.
+    fn default() -> Self {
+        WayMask::all(12)
+    }
+}
+
+impl std::fmt::Display for WayMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ways[{:#014b}]", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_grants_every_way() {
+        let m = WayMask::all(12);
+        assert_eq!(m.count(), 12);
+        assert!((0..12).all(|w| m.allows(w)));
+        assert!(!m.allows(12));
+    }
+
+    #[test]
+    fn contiguous_range() {
+        let m = WayMask::contiguous(4, 3);
+        assert_eq!(m.count(), 3);
+        assert!(!m.allows(3));
+        assert!(m.allows(4) && m.allows(5) && m.allows(6));
+        assert!(!m.allows(7));
+    }
+
+    #[test]
+    fn union_and_overlap() {
+        let a = WayMask::contiguous(0, 6);
+        let b = WayMask::contiguous(6, 6);
+        assert!(!a.overlaps(b));
+        let u = a.union(b);
+        assert_eq!(u.count(), 12);
+        let c = WayMask::contiguous(5, 2);
+        assert!(a.overlaps(c) && b.overlaps(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_mask_rejected() {
+        let _ = WayMask::from_bits(0);
+    }
+
+    #[test]
+    fn iter_yields_granted_ways() {
+        let m = WayMask::from_bits(0b1010);
+        let ways: Vec<_> = m.iter().collect();
+        assert_eq!(ways, vec![1, 3]);
+    }
+
+    #[test]
+    fn full_32_way_masks() {
+        assert_eq!(WayMask::all(32).count(), 32);
+        assert_eq!(WayMask::contiguous(0, 32).count(), 32);
+    }
+}

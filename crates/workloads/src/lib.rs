@@ -1,0 +1,31 @@
+//! # waypart-workloads
+//!
+//! Synthetic models of the 45 applications characterized by Cook et al.
+//! (ISCA 2013): the 13 PARSEC and 14 DaCapo benchmarks, 12 SPEC CPU2006
+//! benchmarks, 4 parallel research applications, and 2 microbenchmarks
+//! (§2.3). We cannot ship the real suites, so each application is a
+//! *statistical address-stream model* — a deterministic generator
+//! parameterized by working-set size, access-pattern mix, memory intensity,
+//! thread-scalability law, and phase schedule — with parameters transcribed
+//! from the paper's own per-application characterization (Tables 1–2,
+//! Figures 1–4, and the `429.mcf` phase trace of Figure 12).
+//!
+//! The models plug into the `waypart-sim` machine through the
+//! [`waypart_sim::stream::AccessStream`] trait:
+//!
+//! ```
+//! use waypart_workloads::{registry, Scale};
+//!
+//! let spec = registry::by_name("429.mcf").unwrap();
+//! // One single-threaded stream of the whole application at test scale.
+//! let stream = spec.thread_stream(1, 0, 1, Scale::TEST, 42);
+//! assert!(spec.max_threads == 1);
+//! # let _ = stream;
+//! ```
+
+pub mod model;
+pub mod registry;
+pub mod spec;
+
+pub use model::AppThreadStream;
+pub use spec::{AppSpec, LlcClass, PatternMix, PhaseSpec, Scale, ScalClass, Suite};

@@ -1,0 +1,409 @@
+//! The access-stream generator behind every application model.
+//!
+//! [`AppThreadStream`] turns one thread's share of an [`AppSpec`] into the
+//! event stream the machine executes. Address-space layout (line offsets
+//! within the app's asid):
+//!
+//! * hot set at offset 0 — intense reuse, expected to live in L1/L2;
+//! * main working set at [`WS_BASE`] — the sequential component walks this
+//!   thread's contiguous slice of it (data-parallel decomposition), the
+//!   random component spans all of it (shared structures).
+//!
+//! Streams are deterministic: all randomness comes from a seeded
+//! [`SmallRng`], so an experiment re-run reproduces byte-identical traffic.
+
+use crate::spec::{AppSpec, PatternMix, Scale};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use waypart_sim::addr::{mix64, LineAddr};
+use waypart_sim::stream::{Access, AccessStream, StreamEvent};
+
+/// Line offset where the main working set begins (hot set sits at 0).
+const WS_BASE: u64 = 1 << 32;
+
+/// Derived, capacity-scaled view of one phase's pattern.
+#[derive(Debug, Clone, Copy)]
+struct ScaledMix {
+    ws_lines: u64,
+    hot_lines: u64,
+    warm_lines: u64,
+    seq_frac: f64,
+    rand_frac: f64,
+    warm_access_frac: f64,
+    seq_jump_every: u32,
+    seq_mlp: f32,
+    rand_mlp: f32,
+    write_frac: f64,
+    mean_gap: u32,
+    non_temporal: bool,
+    /// First instruction (within this thread's budget) of the phase.
+    start_instr: u64,
+}
+
+fn scale_mix(mix: &PatternMix, scale: Scale, start_instr: u64) -> ScaledMix {
+    let line = 64u64;
+    let ws_lines = (mix.ws_bytes / scale.capacity_div as u64 / line).max(1);
+    ScaledMix {
+        ws_lines,
+        hot_lines: (mix.hot_bytes / scale.capacity_div as u64 / line).max(1),
+        warm_lines: ((ws_lines as f64 * mix.warm_region_frac) as u64).max(1),
+        seq_frac: mix.seq_frac,
+        rand_frac: mix.rand_frac,
+        warm_access_frac: mix.warm_access_frac,
+        seq_jump_every: mix.seq_jump_every,
+        seq_mlp: mix.seq_mlp,
+        rand_mlp: mix.rand_mlp,
+        write_frac: mix.write_frac,
+        mean_gap: (1000 / mix.mem_per_ki).saturating_sub(1),
+        non_temporal: mix.non_temporal,
+        start_instr,
+    }
+}
+
+/// One hardware thread's deterministic access stream for an application.
+pub struct AppThreadStream {
+    spec: AppSpec,
+    rng: SmallRng,
+    asid: u16,
+    thread: usize,
+    threads: usize,
+    /// Instruction budget for this thread (0 = no work, immediately done).
+    budget: u64,
+    executed: u64,
+    /// Scaled phase table with precomputed start offsets.
+    phases: Vec<ScaledMix>,
+    phase_idx: usize,
+    /// Sequential-walk cursor within this thread's slice.
+    seq_cursor: u64,
+    /// Steps taken in the current sequential burst (for `seq_jump_every`).
+    seq_burst: u32,
+    endless: bool,
+    /// Completed passes over the budget (meaningful for endless streams).
+    laps: u64,
+    base_cpi: f64,
+}
+
+impl AppThreadStream {
+    /// Builds the stream; see [`AppSpec::thread_stream`].
+    pub(crate) fn new(
+        spec: AppSpec,
+        threads: usize,
+        thread: usize,
+        asid: u16,
+        scale: Scale,
+        seed: u64,
+        endless: bool,
+    ) -> Self {
+        spec.validate();
+        assert!(thread < threads, "thread {thread} out of {threads}");
+        let budget = spec.thread_budget(threads, thread, scale);
+        let mut phases = Vec::with_capacity(spec.phases.len());
+        let mut acc = 0.0f64;
+        for p in &spec.phases {
+            phases.push(scale_mix(&p.mix, scale, (acc * budget as f64) as u64));
+            acc += p.work_fraction;
+        }
+        let mut hasher_seed = seed ^ mix64(thread as u64 + 1);
+        for b in spec.name.bytes() {
+            hasher_seed = mix64(hasher_seed ^ u64::from(b));
+        }
+        let base_cpi = spec.base_cpi;
+        AppThreadStream {
+            spec,
+            rng: SmallRng::seed_from_u64(hasher_seed),
+            asid,
+            thread,
+            threads,
+            budget,
+            executed: 0,
+            phases,
+            phase_idx: 0,
+            seq_cursor: 0,
+            seq_burst: 0,
+            endless,
+            laps: 0,
+            base_cpi,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Completed passes over the work budget (for endless background
+    /// streams, a throughput measure).
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+
+    /// Fraction of this thread's work completed in the current lap.
+    pub fn progress(&self) -> f64 {
+        if self.budget == 0 {
+            1.0
+        } else {
+            self.executed as f64 / self.budget as f64
+        }
+    }
+
+    #[inline]
+    fn current_mix(&mut self) -> ScaledMix {
+        // Advance the phase pointer past any boundary we've crossed.
+        while self.phase_idx + 1 < self.phases.len()
+            && self.executed >= self.phases[self.phase_idx + 1].start_instr
+        {
+            self.phase_idx += 1;
+        }
+        self.phases[self.phase_idx]
+    }
+
+    #[inline]
+    fn gen_access(&mut self, mix: &ScaledMix) -> Access {
+        let r: f64 = self.rng.gen();
+        let effective = self.threads.min(self.spec.max_threads).max(1) as u64;
+        let write = self.rng.gen::<f64>() < mix.write_frac;
+        if r < mix.seq_frac {
+            // Sequential walk over this thread's slice of the working set.
+            // With `seq_jump_every`, the walk is a series of short bursts
+            // at random positions (prefetcher bait, see PatternMix docs).
+            let slice = (mix.ws_lines / effective).max(1);
+            let base = slice * self.thread as u64;
+            if mix.seq_jump_every > 0 {
+                self.seq_burst += 1;
+                if self.seq_burst >= mix.seq_jump_every {
+                    self.seq_burst = 0;
+                    self.seq_cursor = self.rng.gen_range(0..slice);
+                }
+            }
+            let line = WS_BASE + base + (self.seq_cursor % slice);
+            self.seq_cursor = self.seq_cursor.wrapping_add(1);
+            Access {
+                line: LineAddr::in_space(self.asid, line),
+                write,
+                pc: 100 + self.phase_idx as u32,
+                non_temporal: mix.non_temporal,
+                mlp: mix.seq_mlp,
+            }
+        } else if r < mix.seq_frac + mix.rand_frac {
+            // Random access over the working set, with skewed reuse: most
+            // references target the warm region. Real pointer-chasing
+            // codes (mcf, omnetpp) keep a hot core of their footprint,
+            // which is why the paper sees smooth capacity curves instead
+            // of sharp working-set knees (§3.2) and only ~2× MPKI swings
+            // when capacity is cut (Fig 12).
+            let warm = self.rng.gen::<f64>() < mix.warm_access_frac;
+            let span = if warm { mix.warm_lines } else { mix.ws_lines };
+            let line = WS_BASE + self.rng.gen_range(0..span);
+            Access {
+                line: LineAddr::in_space(self.asid, line),
+                write,
+                pc: 2000 + (self.rng.gen::<u32>() & 0x3FF),
+                non_temporal: mix.non_temporal,
+                mlp: mix.rand_mlp,
+            }
+        } else {
+            // Hot-set access: L1/L2 resident reuse.
+            let line = self.rng.gen_range(0..mix.hot_lines);
+            Access {
+                line: LineAddr::in_space(self.asid, line),
+                write,
+                pc: 5000 + (self.rng.gen::<u32>() & 0x1F),
+                non_temporal: false,
+                mlp: 2.0,
+            }
+        }
+    }
+}
+
+impl AccessStream for AppThreadStream {
+    fn next_event(&mut self) -> StreamEvent {
+        if self.executed >= self.budget {
+            if self.endless && self.budget > 0 {
+                self.laps += 1;
+                self.executed = 0;
+                self.phase_idx = 0;
+            } else {
+                return StreamEvent::Done;
+            }
+        }
+        let mix = self.current_mix();
+        let gap = if mix.mean_gap == 0 { 0 } else { self.rng.gen_range(0..=2 * mix.mean_gap) };
+        let access = self.gen_access(&mix);
+        self.executed += u64::from(gap) + 1;
+        StreamEvent::Access { instr_gap: gap, access }
+    }
+
+    fn base_cpi(&self) -> f64 {
+        self.base_cpi
+    }
+
+    fn instructions_issued(&self) -> u64 {
+        self.laps * self.budget + self.executed
+    }
+}
+
+impl std::fmt::Debug for AppThreadStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppThreadStream")
+            .field("app", &self.spec.name)
+            .field("thread", &self.thread)
+            .field("progress", &self.progress())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LlcClass, PhaseSpec, ScalClass, Suite};
+
+    fn spec_with_phases(phases: Vec<PhaseSpec>) -> AppSpec {
+        AppSpec {
+            name: "t",
+            suite: Suite::Micro,
+            total_instructions: 1_000_000,
+            base_cpi: 1.0,
+            serial_fraction: 0.0,
+            sync_overhead: 0.0,
+            max_threads: 8,
+            phases,
+            scal_class: ScalClass::High,
+            llc_class: LlcClass::Low,
+            high_apki: false,
+        }
+    }
+
+    fn one_phase() -> AppSpec {
+        spec_with_phases(vec![PhaseSpec { work_fraction: 1.0, mix: PatternMix::compute(1 << 20, 500) }])
+    }
+
+    const S1: Scale = Scale { capacity_div: 1, work_div: 1 };
+
+    #[test]
+    fn stream_is_deterministic() {
+        let collect = || {
+            let mut s = one_phase().thread_stream(2, 0, 5, S1, 99);
+            let mut v = Vec::new();
+            for _ in 0..200 {
+                if let StreamEvent::Access { access, instr_gap } = s.next_event() {
+                    v.push((access.line, access.write, instr_gap));
+                }
+            }
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_threads_differ() {
+        let mut a = one_phase().thread_stream(2, 0, 5, S1, 99);
+        let mut b = one_phase().thread_stream(2, 1, 5, S1, 99);
+        let ea = a.next_event();
+        let eb = b.next_event();
+        assert_ne!(format!("{ea:?}"), format!("{eb:?}"));
+    }
+
+    #[test]
+    fn stream_finishes_at_budget() {
+        let mut s = one_phase().thread_stream(1, 0, 5, Scale { capacity_div: 1, work_div: 100 }, 1);
+        let mut instrs = 0u64;
+        loop {
+            match s.next_event() {
+                StreamEvent::Access { instr_gap, .. } => instrs += u64::from(instr_gap) + 1,
+                StreamEvent::Compute { instrs: i } => instrs += u64::from(i),
+                StreamEvent::Done => break,
+            }
+        }
+        assert!(instrs >= 10_000, "ran {instrs}");
+        assert_eq!(s.next_event(), StreamEvent::Done);
+    }
+
+    #[test]
+    fn endless_stream_laps() {
+        let mut s = one_phase().endless_stream(1, 0, 5, Scale { capacity_div: 1, work_div: 1000 }, 1);
+        for _ in 0..10_000 {
+            assert_ne!(s.next_event(), StreamEvent::Done);
+        }
+        assert!(s.laps() >= 1, "endless stream never wrapped");
+    }
+
+    #[test]
+    fn phase_switch_changes_pattern() {
+        // Phase 1 has a tiny working set, phase 2 a big one; observed
+        // address ranges must differ.
+        let small = PatternMix { seq_frac: 0.0, rand_frac: 1.0, ..PatternMix::compute(64 * 64, 1000) };
+        let big = PatternMix { seq_frac: 0.0, rand_frac: 1.0, ..PatternMix::compute(1 << 26, 1000) };
+        let spec = spec_with_phases(vec![
+            PhaseSpec { work_fraction: 0.5, mix: small },
+            PhaseSpec { work_fraction: 0.5, mix: big },
+        ]);
+        let mut s = spec.thread_stream(1, 0, 5, S1, 7);
+        let mut first_half_max = 0u64;
+        let mut second_half_max = 0u64;
+        loop {
+            let prog = s.progress();
+            match s.next_event() {
+                StreamEvent::Access { access, .. } => {
+                    let off = access.line.offset() - WS_BASE;
+                    if prog < 0.45 {
+                        first_half_max = first_half_max.max(off);
+                    } else if prog > 0.55 {
+                        second_half_max = second_half_max.max(off);
+                    }
+                }
+                StreamEvent::Done => break,
+                _ => {}
+            }
+        }
+        assert!(first_half_max < 64, "phase 1 strayed to {first_half_max}");
+        assert!(second_half_max > 10_000, "phase 2 stayed at {second_half_max}");
+    }
+
+    #[test]
+    fn sequential_slices_are_disjoint_per_thread() {
+        let mix = PatternMix { seq_frac: 1.0, rand_frac: 0.0, ..PatternMix::compute(1 << 20, 1000) };
+        let spec = spec_with_phases(vec![PhaseSpec { work_fraction: 1.0, mix }]);
+        let slice_lines = (1u64 << 20) / 64 / 4;
+        for t in 0..4 {
+            let mut s = spec.thread_stream(4, t, 5, S1, 7);
+            for _ in 0..100 {
+                if let StreamEvent::Access { access, .. } = s.next_event() {
+                    let off = access.line.offset() - WS_BASE;
+                    assert!(
+                        off >= slice_lines * t as u64 && off < slice_lines * (t as u64 + 1),
+                        "thread {t} accessed line {off} outside its slice"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_thread_is_immediately_done() {
+        let mut spec = one_phase();
+        spec.max_threads = 1;
+        let mut s = spec.thread_stream(4, 2, 5, S1, 7);
+        assert_eq!(s.next_event(), StreamEvent::Done);
+    }
+
+    #[test]
+    fn non_temporal_mix_produces_bypass_accesses() {
+        let mix = PatternMix {
+            seq_frac: 0.9,
+            rand_frac: 0.0,
+            non_temporal: true,
+            ..PatternMix::compute(1 << 26, 1000)
+        };
+        let spec = spec_with_phases(vec![PhaseSpec { work_fraction: 1.0, mix }]);
+        let mut s = spec.thread_stream(1, 0, 5, S1, 7);
+        let mut nt = 0;
+        for _ in 0..100 {
+            if let StreamEvent::Access { access, .. } = s.next_event() {
+                if access.non_temporal {
+                    nt += 1;
+                }
+            }
+        }
+        assert!(nt > 50, "only {nt}/100 non-temporal");
+    }
+}

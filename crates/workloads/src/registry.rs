@@ -1,0 +1,549 @@
+//! The 45 application models.
+//!
+//! One [`AppSpec`] per application of §2.3: 13 PARSEC, 14 DaCapo, 12 SPEC
+//! CPU2006, 4 parallel research applications, 2 microbenchmarks. Parameters
+//! encode the paper's own per-application measurements:
+//!
+//! * `scal_class` / `serial_fraction` / `sync_overhead` — Table 1 and Fig 1;
+//! * `llc_class` / working-set sizes — Table 2 and Fig 2 (44% of apps reach
+//!   peak performance with ≤1 MB, 78% with ≤3 MB);
+//! * `high_apki` — Table 2's bolding of apps above 10 LLC accesses/KI;
+//! * sequential fractions / MLP — Fig 3 (prefetcher sensitivity) and Fig 4
+//!   (bandwidth sensitivity: streaming SPEC codes, `fluidanimate`,
+//!   `streamcluster`, and all four parallel apps suffer next to a hog);
+//! * `429.mcf`'s six-phase schedule — Fig 12 (five MPKI transitions between
+//!   a 1.5 MB and a 4.5 MB working set).
+//!
+//! The calibration suite (`tests/calibration.rs` in this crate and the
+//! experiment harness) measures every model and asserts the classes match.
+
+use crate::spec::{AppSpec, LlcClass, PatternMix, PhaseSpec, ScalClass, Suite};
+
+const MB: u64 = 1024 * 1024;
+const KB: u64 = 1024;
+const G: u64 = 1_000_000_000;
+
+/// Compact builder for the single-phase common case.
+#[allow(clippy::too_many_arguments)]
+fn app(
+    name: &'static str,
+    suite: Suite,
+    instr: u64,
+    cpi: f64,
+    serial: f64,
+    sync: f64,
+    max_threads: usize,
+    mix: PatternMix,
+    scal: ScalClass,
+    llc: LlcClass,
+    high_apki: bool,
+) -> AppSpec {
+    AppSpec {
+        name,
+        suite,
+        total_instructions: instr,
+        base_cpi: cpi,
+        serial_fraction: serial,
+        sync_overhead: sync,
+        max_threads,
+        phases: vec![PhaseSpec { work_fraction: 1.0, mix }],
+        scal_class: scal,
+        llc_class: llc,
+        high_apki,
+    }
+}
+
+/// Compact builder for a [`PatternMix`].
+#[allow(clippy::too_many_arguments)]
+fn mix(
+    ws: u64,
+    hot: u64,
+    seq: f64,
+    rand: f64,
+    seq_mlp: f32,
+    rand_mlp: f32,
+    write: f64,
+    mem_per_ki: u32,
+) -> PatternMix {
+    PatternMix {
+        ws_bytes: ws,
+        hot_bytes: hot,
+        seq_frac: seq,
+        rand_frac: rand,
+        seq_mlp,
+        rand_mlp,
+        write_frac: write,
+        mem_per_ki,
+        non_temporal: false,
+        warm_access_frac: 0.6,
+        warm_region_frac: 0.3,
+        seq_jump_every: 0,
+    }
+}
+
+/// Marks a mix as scatter traffic: random references spread uniformly
+/// over the whole footprint with no warm core. Streaming codes' residual
+/// random misses look like this, which is why extra LLC capacity buys
+/// them nothing (Table 2 "low" utility).
+fn no_warm(mut m: PatternMix) -> PatternMix {
+    m.warm_access_frac = 0.0;
+    m
+}
+
+fn parsec() -> Vec<AppSpec> {
+    use Suite::Parsec;
+    vec![
+        app("blackscholes", Parsec, 2 * G, 0.9, 0.02, 0.003, 8,
+            mix(500 * KB, 24 * KB, 0.020, 0.012, 4.0, 2.0, 0.20, 200), ScalClass::High, LlcClass::Low, false),
+        app("bodytrack", Parsec, 2 * G, 1.0, 0.04, 0.005, 8,
+            mix(500 * KB, 32 * KB, 0.016, 0.012, 4.0, 2.0, 0.22, 220), ScalClass::High, LlcClass::Low, false),
+        // canneal: pointer-chasing netlist; saturated scaling, saturated
+        // LLC utility, and one of the paper's most aggressive co-runners.
+        app("canneal", Parsec, 2_200_000_000, 1.1, 0.12, 0.100, 8,
+            mix(2_500 * KB, 32 * KB, 0.020, 0.120, 4.0, 1.6, 0.20, 300), ScalClass::Saturated, LlcClass::Saturated, true),
+        AppSpec {
+            name: "dedup",
+            suite: Parsec,
+            total_instructions: 2 * G,
+            base_cpi: 1.0,
+            serial_fraction: 0.12,
+            sync_overhead: 0.140,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.55, mix: mix(550 * KB, 48 * KB, 0.015, 0.010, 4.0, 2.0, 0.30, 250) },
+                PhaseSpec { work_fraction: 0.45, mix: mix(200 * KB, 32 * KB, 0.006, 0.004, 4.0, 2.0, 0.30, 250) },
+            ],
+            scal_class: ScalClass::Saturated,
+            llc_class: LlcClass::Low,
+            high_apki: false,
+        },
+        // facesim: a cache-resident solve phase plus a streaming assembly
+        // phase; the stream is what prefetching covers (Fig 3 benefit).
+        AppSpec {
+            name: "facesim",
+            suite: Parsec,
+            total_instructions: 2_400_000_000,
+            base_cpi: 1.0,
+            serial_fraction: 0.03,
+            sync_overhead: 0.004,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.7, mix: mix(3 * MB, 48 * KB, 0.010, 0.010, 6.0, 2.0, 0.30, 260) },
+                PhaseSpec { work_fraction: 0.3, mix: no_warm(mix(16 * MB, 48 * KB, 0.060, 0.002, 6.0, 2.0, 0.30, 260)) },
+            ],
+            scal_class: ScalClass::High,
+            llc_class: LlcClass::Saturated,
+            high_apki: false,
+        },
+        AppSpec {
+            name: "ferret",
+            suite: Parsec,
+            total_instructions: 2_200_000_000,
+            base_cpi: 1.0,
+            serial_fraction: 0.03,
+            sync_overhead: 0.004,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.6, mix: mix(500 * KB, 32 * KB, 0.015, 0.010, 4.0, 2.0, 0.22, 240) },
+                PhaseSpec { work_fraction: 0.4, mix: mix(200 * KB, 24 * KB, 0.006, 0.004, 4.0, 2.0, 0.22, 240) },
+            ],
+            scal_class: ScalClass::High,
+            llc_class: LlcClass::Low,
+            high_apki: false,
+        },
+        // fluidanimate: streaming and bandwidth sensitive (Fig 4), but low
+        // LLC utility — its stream never fits.
+        app("fluidanimate", Parsec, 2_200_000_000, 1.0, 0.04, 0.006, 8,
+            no_warm(mix(32 * MB, 32 * KB, 0.035, 0.004, 6.0, 2.0, 0.30, 300)), ScalClass::High, LlcClass::Low, false),
+        app("freqmine", Parsec, 2_400_000_000, 1.0, 0.05, 0.008, 8,
+            mix(600 * KB, 48 * KB, 0.016, 0.010, 4.0, 2.0, 0.22, 230), ScalClass::High, LlcClass::Low, false),
+        app("raytrace", Parsec, 2 * G, 1.0, 0.12, 0.100, 8,
+            mix(600 * KB, 32 * KB, 0.012, 0.010, 4.0, 2.0, 0.18, 220), ScalClass::Saturated, LlcClass::Low, false),
+        // streamcluster: the suite's bandwidth/prefetch-sensitive member.
+        app("streamcluster", Parsec, 2_400_000_000, 0.9, 0.03, 0.004, 8,
+            no_warm(mix(32 * MB, 16 * KB, 0.130, 0.012, 6.0, 2.0, 0.15, 330)), ScalClass::High, LlcClass::Low, true),
+        // swaptions: Fig 2's "low utility" representative.
+        app("swaptions", Parsec, 2 * G, 0.9, 0.02, 0.002, 8,
+            mix(300 * KB, 16 * KB, 0.020, 0.010, 4.0, 2.0, 0.15, 180), ScalClass::High, LlcClass::Low, false),
+        app("vips", Parsec, 2_200_000_000, 1.0, 0.04, 0.005, 8,
+            mix(550 * KB, 32 * KB, 0.020, 0.012, 4.0, 2.0, 0.25, 240), ScalClass::High, LlcClass::Low, false),
+        // x264: the one PARSEC app with high LLC utility (Table 2).
+        app("x264", Parsec, 2_400_000_000, 1.0, 0.05, 0.010, 8,
+            no_warm(mix(6_250 * KB, 48 * KB, 0.025, 0.020, 5.0, 2.0, 0.25, 250)), ScalClass::High, LlcClass::High, false),
+    ]
+}
+
+fn dacapo() -> Vec<AppSpec> {
+    use Suite::DaCapo;
+    vec![
+        app("avrora", DaCapo, 2_400_000_000, 1.2, 0.15, 0.080, 8,
+            mix(500 * KB, 32 * KB, 0.012, 0.012, 4.0, 2.0, 0.25, 200), ScalClass::Saturated, LlcClass::Low, false),
+        // batik: Fig 6/7 cluster-6 representative.
+        AppSpec {
+            name: "batik",
+            suite: DaCapo,
+            total_instructions: 2_400_000_000,
+            base_cpi: 1.2,
+            serial_fraction: 0.18,
+            sync_overhead: 0.090,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.35, mix: mix(2_500 * KB, 48 * KB, 0.012, 0.038, 4.0, 2.0, 0.25, 230) },
+                PhaseSpec { work_fraction: 0.30, mix: mix(500 * KB, 48 * KB, 0.012, 0.012, 4.0, 2.0, 0.25, 230) },
+                PhaseSpec { work_fraction: 0.35, mix: mix(2_500 * KB, 48 * KB, 0.012, 0.038, 4.0, 2.0, 0.25, 230) },
+            ],
+            scal_class: ScalClass::Saturated,
+            llc_class: LlcClass::Saturated,
+            high_apki: false,
+        },
+        app("eclipse", DaCapo, 2 * G, 1.2, 0.15, 0.140, 8,
+            PatternMix { warm_access_frac: 0.35, ..no_warm(mix(6_500 * KB, 64 * KB, 0.010, 0.022, 4.0, 1.8, 0.28, 250)) }, ScalClass::Saturated, LlcClass::High, false),
+        // fop: cluster-4 representative (cache-sensitive, saturated
+        // scaling). Alternates a cache-hungry layout phase with a
+        // small-footprint rendering phase — the phase slack the dynamic
+        // controller harvests in Figure 13.
+        AppSpec {
+            name: "fop",
+            suite: DaCapo,
+            total_instructions: 2_800_000_000,
+            base_cpi: 1.2,
+            serial_fraction: 0.16,
+            sync_overhead: 0.110,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.30, mix: no_warm(mix(6_250 * KB, 48 * KB, 0.008, 0.032, 4.0, 1.8, 0.28, 250)) },
+                PhaseSpec { work_fraction: 0.25, mix: mix(900 * KB, 48 * KB, 0.010, 0.015, 4.0, 2.0, 0.28, 250) },
+                PhaseSpec { work_fraction: 0.25, mix: no_warm(mix(6_250 * KB, 48 * KB, 0.008, 0.032, 4.0, 1.8, 0.28, 250)) },
+                PhaseSpec { work_fraction: 0.20, mix: mix(900 * KB, 48 * KB, 0.010, 0.015, 4.0, 2.0, 0.28, 250) },
+            ],
+            scal_class: ScalClass::Saturated,
+            llc_class: LlcClass::High,
+            high_apki: false,
+        },
+        // h2: low scalability (transactional, lock-bound), cluster 1.
+        app("h2", DaCapo, 2 * G, 1.3, 0.55, 0.080, 8,
+            mix(3 * MB, 64 * KB, 0.010, 0.022, 4.0, 1.5, 0.30, 260), ScalClass::Low, LlcClass::Saturated, false),
+        app("jython", DaCapo, 2_400_000_000, 1.2, 0.15, 0.050, 8,
+            mix(2 * MB, 64 * KB, 0.012, 0.030, 4.0, 2.0, 0.25, 230), ScalClass::Saturated, LlcClass::Saturated, false),
+        app("luindex", DaCapo, 2_800_000_000, 1.2, 0.20, 0.060, 8,
+            mix(2 * MB, 48 * KB, 0.012, 0.030, 4.0, 2.0, 0.28, 220), ScalClass::Saturated, LlcClass::Saturated, false),
+        // lusearch: the only app the paper found *hurt* by prefetching
+        // (Fig 3); its oversized hot set makes the DCU streamer's blind
+        // next-line prefetches pollute the L1. Also an aggressor (§5.1).
+        app("lusearch", DaCapo, 2_400_000_000, 1.2, 0.15, 0.110, 8,
+            PatternMix {
+                seq_jump_every: 2,
+                ..mix(4_500 * KB, 192 * KB, 0.160, 0.100, 1.5, 1.8, 0.30, 280)
+            }, ScalClass::Saturated, LlcClass::High, true),
+        app("pmd", DaCapo, 2_600_000_000, 1.2, 0.06, 0.020, 8,
+            PatternMix { warm_access_frac: 0.35, ..no_warm(mix(6_500 * KB, 48 * KB, 0.010, 0.022, 4.0, 1.8, 0.26, 250)) }, ScalClass::High, LlcClass::High, false),
+        app("sunflow", DaCapo, 2 * G, 1.1, 0.04, 0.010, 8,
+            mix(500 * KB, 32 * KB, 0.015, 0.012, 4.0, 2.0, 0.20, 230), ScalClass::High, LlcClass::Low, false),
+        // tomcat: Fig 2's "saturated utility" representative.
+        app("tomcat", DaCapo, 2 * G, 1.2, 0.05, 0.015, 8,
+            mix(2_500 * KB, 48 * KB, 0.012, 0.035, 4.0, 2.0, 0.26, 240), ScalClass::High, LlcClass::Saturated, false),
+        app("tradebeans", DaCapo, 2_200_000_000, 1.3, 0.60, 0.080, 8,
+            no_warm(mix(7 * MB, 64 * KB, 0.010, 0.022, 4.0, 1.5, 0.30, 250)), ScalClass::Low, LlcClass::High, false),
+        app("tradesoap", DaCapo, 2_200_000_000, 1.3, 0.60, 0.080, 8,
+            mix(2_500 * KB, 64 * KB, 0.010, 0.030, 4.0, 1.5, 0.30, 240), ScalClass::Low, LlcClass::Saturated, false),
+        app("xalan", DaCapo, 2 * G, 1.2, 0.05, 0.015, 8,
+            mix(6 * MB, 48 * KB, 0.010, 0.030, 4.0, 1.8, 0.28, 250), ScalClass::High, LlcClass::High, false),
+    ]
+}
+
+fn spec_cpu() -> Vec<AppSpec> {
+    use Suite::Spec;
+    let mut v = vec![
+        app("436.cactusADM", Spec, 2_600_000_000, 1.0, 1.0, 0.0, 1,
+            mix(500 * KB, 48 * KB, 0.030, 0.008, 5.0, 2.0, 0.30, 280), ScalClass::Low, LlcClass::Low, false),
+        app("437.leslie3d", Spec, 2_600_000_000, 1.0, 1.0, 0.0, 1,
+            no_warm(mix(32 * MB, 16 * KB, 0.240, 0.002, 5.0, 2.0, 0.30, 300)), ScalClass::Low, LlcClass::Low, true),
+        app("450.soplex", Spec, 2_400_000_000, 1.0, 1.0, 0.0, 1,
+            no_warm(mix(48 * MB, 16 * KB, 0.170, 0.008, 4.0, 1.8, 0.25, 300)), ScalClass::Low, LlcClass::Low, true),
+        app("453.povray", Spec, 2_400_000_000, 0.85, 1.0, 0.0, 1,
+            mix(400 * KB, 24 * KB, 0.012, 0.008, 4.0, 2.0, 0.18, 220), ScalClass::Low, LlcClass::Low, false),
+        app("454.calculix", Spec, 2_600_000_000, 0.9, 1.0, 0.0, 1,
+            mix(400 * KB, 32 * KB, 0.020, 0.006, 4.0, 2.0, 0.22, 260), ScalClass::Low, LlcClass::Low, false),
+        // 459.GemsFDTD: cluster-2 representative — streaming, heavily
+        // bandwidth- and prefetch-sensitive.
+        app("459.GemsFDTD", Spec, 2_600_000_000, 1.0, 1.0, 0.0, 1,
+            no_warm(mix(48 * MB, 16 * KB, 0.220, 0.006, 5.0, 2.0, 0.35, 320)), ScalClass::Low, LlcClass::Low, true),
+        app("462.libquantum", Spec, 2_800_000_000, 0.9, 1.0, 0.0, 1,
+            no_warm(mix(64 * MB, 16 * KB, 0.220, 0.004, 6.0, 2.0, 0.25, 340)), ScalClass::Low, LlcClass::Low, true),
+        app("470.lbm", Spec, 2_600_000_000, 1.0, 1.0, 0.0, 1,
+            no_warm(mix(48 * MB, 16 * KB, 0.240, 0.004, 6.0, 2.0, 0.40, 330)), ScalClass::Low, LlcClass::Low, true),
+        // 471.omnetpp: Fig 2's "high utility" representative; pointer-
+        // chasing over a footprint just beyond the LLC; a known aggressor.
+        app("471.omnetpp", Spec, 2_400_000_000, 1.2, 1.0, 0.0, 1,
+            mix(6_500 * KB, 48 * KB, 0.020, 0.180, 4.0, 1.5, 0.30, 330), ScalClass::Low, LlcClass::High, true),
+        app("473.astar", Spec, 2_400_000_000, 1.1, 1.0, 0.0, 1,
+            mix(2 * MB, 48 * KB, 0.010, 0.026, 4.0, 1.3, 0.22, 280), ScalClass::Low, LlcClass::Saturated, false),
+        app("482.sphinx3", Spec, 2_600_000_000, 1.0, 1.0, 0.0, 1,
+            mix(3 * MB, 32 * KB, 0.060, 0.040, 4.0, 2.0, 0.15, 290), ScalClass::Low, LlcClass::Saturated, true),
+    ];
+    // 429.mcf: cluster-1 representative. Fig 12 shows five transitions
+    // between low-MPKI phases (≈1.5 MB hot working set, 3 ways suffice) and
+    // high-MPKI phases (≈4 MB+, 9 ways needed).
+    let mcf_low = PatternMix {
+        warm_access_frac: 0.85,
+        warm_region_frac: 0.40,
+        ..mix(1_500 * KB, 48 * KB, 0.03, 0.16, 4.0, 1.5, 0.25, 330)
+    };
+    let mcf_high = PatternMix {
+        warm_access_frac: 0.85,
+        warm_region_frac: 0.40,
+        ..mix(3_500 * KB, 48 * KB, 0.03, 0.26, 4.0, 1.5, 0.25, 330)
+    };
+    v.insert(0, AppSpec {
+        name: "429.mcf",
+        suite: Suite::Spec,
+        total_instructions: 3 * G,
+        base_cpi: 1.2,
+        serial_fraction: 1.0,
+        sync_overhead: 0.0,
+        max_threads: 1,
+        phases: vec![
+            PhaseSpec { work_fraction: 0.18, mix: mcf_low },
+            PhaseSpec { work_fraction: 0.16, mix: mcf_high },
+            PhaseSpec { work_fraction: 0.18, mix: mcf_low },
+            PhaseSpec { work_fraction: 0.16, mix: mcf_high },
+            PhaseSpec { work_fraction: 0.16, mix: mcf_low },
+            PhaseSpec { work_fraction: 0.16, mix: mcf_high },
+        ],
+        scal_class: ScalClass::Low,
+        llc_class: LlcClass::Saturated,
+        high_apki: true,
+    });
+    v
+}
+
+fn parallel() -> Vec<AppSpec> {
+    use Suite::Parallel;
+    vec![
+        // Multithreaded browser layout-animation kernel; bandwidth-bound on
+        // this platform (Fig 1c) and a strong aggressor (§5.1).
+        AppSpec {
+            name: "browser_animation",
+            suite: Parallel,
+            total_instructions: 2 * G,
+            base_cpi: 1.0,
+            serial_fraction: 0.10,
+            sync_overhead: 0.130,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.7, mix: mix(5 * MB, 32 * KB, 0.020, 0.110, 5.0, 2.0, 0.30, 300) },
+                PhaseSpec { work_fraction: 0.3, mix: no_warm(mix(16 * MB, 32 * KB, 0.120, 0.010, 5.0, 2.0, 0.30, 300)) },
+            ],
+            scal_class: ScalClass::Saturated,
+            llc_class: LlcClass::High,
+            high_apki: true,
+        },
+        // Breadth-first graph search (graph500 CSR): random traffic over a
+        // footprint far beyond the LLC.
+        app("g500_csr", Parallel, 2_200_000_000, 1.1, 0.08, 0.060, 8,
+            mix(16 * MB, 32 * KB, 0.020, 0.180, 4.0, 4.0, 0.15, 320), ScalClass::Saturated, LlcClass::High, true),
+        // Parallel speech recognition; low scalability on this platform.
+        AppSpec {
+            name: "ParaDecoder",
+            suite: Parallel,
+            total_instructions: 3 * G,
+            base_cpi: 1.1,
+            serial_fraction: 0.65,
+            sync_overhead: 0.080,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.7, mix: PatternMix { warm_access_frac: 0.75, warm_region_frac: 0.35, ..mix(3 * MB, 16 * KB, 0.020, 0.130, 4.0, 2.0, 0.25, 300) } },
+                PhaseSpec { work_fraction: 0.3, mix: no_warm(mix(24 * MB, 16 * KB, 0.130, 0.004, 4.0, 2.0, 0.25, 300)) },
+            ],
+            scal_class: ScalClass::Low,
+            llc_class: LlcClass::Saturated,
+            high_apki: true,
+        },
+        // Heat-transfer stencil over a regular grid; streaming sweeps whose
+        // reuse fits around 4.5 MB.
+        AppSpec {
+            name: "stencilprobe",
+            suite: Parallel,
+            total_instructions: 2_200_000_000,
+            base_cpi: 1.0,
+            serial_fraction: 0.14,
+            sync_overhead: 0.160,
+            max_threads: 8,
+            phases: vec![
+                PhaseSpec { work_fraction: 0.6, mix: mix(4 * MB, 32 * KB, 0.150, 0.008, 5.0, 2.0, 0.30, 310) },
+                PhaseSpec { work_fraction: 0.4, mix: no_warm(mix(24 * MB, 32 * KB, 0.150, 0.004, 5.0, 2.0, 0.30, 310)) },
+            ],
+            scal_class: ScalClass::Saturated,
+            llc_class: LlcClass::Saturated,
+            high_apki: true,
+        },
+    ]
+}
+
+fn micro() -> Vec<AppSpec> {
+    // ccbench explores arrays of growing size to map the hierarchy.
+    let ccbench_phases: Vec<PhaseSpec> = [128 * KB, 256 * KB, 512 * KB, 1 * MB, 1_500 * KB, 2 * MB, 3 * MB, 4 * MB]
+        .iter()
+        .map(|&ws| PhaseSpec {
+            work_fraction: 0.125,
+            mix: mix(ws, 16 * KB, 0.02, 0.20, 4.0, 1.0, 0.05, 300),
+        })
+        .collect();
+    let ccbench = AppSpec {
+        name: "ccbench",
+        suite: Suite::Micro,
+        total_instructions: 2_400_000_000,
+        base_cpi: 1.0,
+        serial_fraction: 1.0,
+        sync_overhead: 0.0,
+        max_threads: 1,
+        phases: ccbench_phases,
+        scal_class: ScalClass::Low,
+        llc_class: LlcClass::Saturated,
+        high_apki: true,
+    };
+    // stream_uncached: specially tagged loads/stores that stream through
+    // memory without caching — the bandwidth hog of Figs 4 and 8.
+    //
+    // NOTE: Table 2 lists it under "Saturated" utility; by construction a
+    // non-temporal stream never allocates in the LLC, so our model
+    // measures as capacity-insensitive (Low). Recorded as a documented
+    // deviation in EXPERIMENTS.md.
+    let mut hog_mix = mix(64 * MB, 16 * KB, 0.95, 0.0, 16.0, 2.0, 0.40, 500);
+    hog_mix.non_temporal = true;
+    let hog = app("stream_uncached", Suite::Micro, 2_400_000_000, 0.8, 1.0, 0.0, 1,
+        hog_mix, ScalClass::Low, LlcClass::Low, true);
+    vec![ccbench, hog]
+}
+
+/// Every application model, in the paper's figure order
+/// (PARSEC, DaCapo, SPEC, parallel, micro).
+pub fn all() -> Vec<AppSpec> {
+    let mut v = parsec();
+    v.extend(dacapo());
+    v.extend(spec_cpu());
+    v.extend(parallel());
+    v.extend(micro());
+    v
+}
+
+/// Looks an application up by its paper name.
+pub fn by_name(name: &str) -> Option<AppSpec> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+/// All applications of one suite.
+pub fn by_suite(suite: Suite) -> Vec<AppSpec> {
+    all().into_iter().filter(|a| a.suite == suite).collect()
+}
+
+/// The six cluster representatives the paper selects in Table 3 (bold =
+/// closest to centroid) and uses for Figures 6, 7, 9, 10, 11 and 13.
+pub const CLUSTER_REPRESENTATIVES: [&str; 6] =
+    ["429.mcf", "459.GemsFDTD", "ferret", "fop", "dedup", "batik"];
+
+/// The representatives as specs, in cluster order C1..C6.
+pub fn cluster_representatives() -> Vec<AppSpec> {
+    CLUSTER_REPRESENTATIVES
+        .iter()
+        .map(|n| by_name(n).expect("representative registered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_45_apps() {
+        assert_eq!(all().len(), 45);
+    }
+
+    #[test]
+    fn suite_counts_match_paper() {
+        assert_eq!(by_suite(Suite::Parsec).len(), 13);
+        assert_eq!(by_suite(Suite::DaCapo).len(), 14);
+        assert_eq!(by_suite(Suite::Spec).len(), 12);
+        assert_eq!(by_suite(Suite::Parallel).len(), 4);
+        assert_eq!(by_suite(Suite::Micro).len(), 2);
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for spec in all() {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 45);
+    }
+
+    #[test]
+    fn spec_and_micro_are_single_threaded() {
+        for spec in by_suite(Suite::Spec).iter().chain(by_suite(Suite::Micro).iter()) {
+            assert_eq!(spec.max_threads, 1, "{} should be single-threaded", spec.name);
+            assert_eq!(spec.serial_fraction, 1.0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn representatives_exist_and_span_clusters() {
+        let reps = cluster_representatives();
+        assert_eq!(reps.len(), 6);
+        assert_eq!(reps[0].name, "429.mcf");
+        assert_eq!(reps[5].name, "batik");
+    }
+
+    #[test]
+    fn table1_class_counts() {
+        // Table 1: PARSEC has no low-scalability apps and 10 high; DaCapo
+        // has 3 low; all SPEC are low.
+        let count = |suite, class| {
+            by_suite(suite).iter().filter(|a| a.scal_class == class).count()
+        };
+        assert_eq!(count(Suite::Parsec, ScalClass::Low), 0);
+        assert_eq!(count(Suite::Parsec, ScalClass::High), 10);
+        assert_eq!(count(Suite::Parsec, ScalClass::Saturated), 3);
+        assert_eq!(count(Suite::DaCapo, ScalClass::Low), 3);
+        assert_eq!(count(Suite::Spec, ScalClass::Low), 12);
+        assert_eq!(count(Suite::Micro, ScalClass::Low), 2);
+    }
+
+    #[test]
+    fn table2_class_counts() {
+        // Table 2: PARSEC — 10 low / 2 saturated / 1 high; DaCapo — 2 low /
+        // 6 saturated / 6 high; SPEC — 8 low / 3 saturated / 1 high.
+        let count = |suite, class| {
+            by_suite(suite).iter().filter(|a| a.llc_class == class).count()
+        };
+        assert_eq!(count(Suite::Parsec, LlcClass::Low), 10);
+        assert_eq!(count(Suite::Parsec, LlcClass::Saturated), 2);
+        assert_eq!(count(Suite::Parsec, LlcClass::High), 1);
+        assert_eq!(count(Suite::DaCapo, LlcClass::Low), 2);
+        assert_eq!(count(Suite::DaCapo, LlcClass::Saturated), 6);
+        assert_eq!(count(Suite::DaCapo, LlcClass::High), 6);
+        assert_eq!(count(Suite::Spec, LlcClass::Low), 8);
+        assert_eq!(count(Suite::Spec, LlcClass::Saturated), 3);
+        assert_eq!(count(Suite::Spec, LlcClass::High), 1);
+    }
+
+    #[test]
+    fn mcf_has_phase_transitions() {
+        let mcf = by_name("429.mcf").unwrap();
+        assert_eq!(mcf.phases.len(), 6, "Fig 12 shows 5 transitions = 6 phases");
+        // Alternating small/large working sets.
+        let ws: Vec<u64> = mcf.phases.iter().map(|p| p.mix.ws_bytes).collect();
+        assert!(ws[0] < ws[1] && ws[2] < ws[3] && ws[4] < ws[5]);
+    }
+
+    #[test]
+    fn hog_is_non_temporal() {
+        let hog = by_name("stream_uncached").unwrap();
+        assert!(hog.phases[0].mix.non_temporal);
+    }
+}

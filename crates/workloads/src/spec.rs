@@ -1,0 +1,354 @@
+//! Application model specifications.
+//!
+//! An [`AppSpec`] captures everything the paper measured about one
+//! application: its suite, instruction volume, memory intensity, access
+//! pattern (per phase), and parallel-scaling law. The expected
+//! classifications from Tables 1 and 2 are carried alongside so the
+//! calibration tests can assert that the *measured* behaviour of each model
+//! matches the paper's characterization.
+
+use crate::model::AppThreadStream;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite membership (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// PARSEC 2.x native inputs, pthreads (except freqmine/OpenMP).
+    Parsec,
+    /// DaCapo 2009 (managed/JVM workloads).
+    DaCapo,
+    /// SPEC CPU2006 subset (single ref input).
+    Spec,
+    /// The four parallel research applications.
+    Parallel,
+    /// Microbenchmarks (`ccbench`, `stream_uncached`).
+    Micro,
+}
+
+impl Suite {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Parsec => "PARSEC",
+            Suite::DaCapo => "DACAPO",
+            Suite::Spec => "SPEC",
+            Suite::Parallel => "PAR",
+            Suite::Micro => "u",
+        }
+    }
+}
+
+/// Thread-scalability class (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalClass {
+    /// Little or no speedup from added threads.
+    Low,
+    /// Speedup saturates after 4–6 threads.
+    Saturated,
+    /// Speedup keeps growing to 8 threads.
+    High,
+}
+
+/// LLC-capacity utility class (Table 2, ignoring the pathological
+/// direct-mapped 0.5 MB point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LlcClass {
+    /// Performance flat in allocated capacity.
+    Low,
+    /// Benefits up to a saturation point.
+    Saturated,
+    /// Always benefits from more capacity.
+    High,
+}
+
+/// Scale preset tying workload footprints to a capacity-scaled machine.
+///
+/// `capacity_div` divides working-set sizes (pair it with
+/// [`waypart_sim::config::MachineConfig::scaled`] using the same divisor);
+/// `work_div` divides instruction volume (runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Working-set / cache-capacity divisor (power of two).
+    pub capacity_div: usize,
+    /// Instruction-volume divisor.
+    pub work_div: u64,
+}
+
+impl Scale {
+    /// Full size: the paper's 6 MB LLC and full instruction volumes.
+    pub const FULL: Scale = Scale { capacity_div: 1, work_div: 8 };
+    /// Bench scale: 1.5 MB LLC machine, ~1/64 instruction volume.
+    pub const BENCH: Scale = Scale { capacity_div: 4, work_div: 64 };
+    /// Test scale: 96 KB LLC machine, tiny instruction volume.
+    pub const TEST: Scale = Scale { capacity_div: 64, work_div: 1024 };
+}
+
+/// One phase's memory access pattern.
+///
+/// Accesses draw from three components: a *hot* set (intense reuse, filtered
+/// by L1/L2), a *sequential* stream over the thread's slice of the main
+/// working set (prefetch-friendly, high MLP), and a *random* component over
+/// the whole working set (capacity-sensitive; MLP 1 models pointer chasing).
+/// The three fractions must not exceed 1; the remainder is hot traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternMix {
+    /// Main working-set size in bytes (at full scale).
+    pub ws_bytes: u64,
+    /// Hot-set size in bytes (at full scale); should fit in L1/L2.
+    pub hot_bytes: u64,
+    /// Fraction of accesses walking the sequential stream.
+    pub seq_frac: f64,
+    /// Fraction of accesses hitting random lines of the working set.
+    pub rand_frac: f64,
+    /// Memory-level parallelism of sequential misses.
+    pub seq_mlp: f32,
+    /// Memory-level parallelism of random misses (1.0 = pointer chase).
+    pub rand_mlp: f32,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+    /// Memory accesses per kilo-instruction.
+    pub mem_per_ki: u32,
+    /// Whether accesses bypass the caches entirely (stream_uncached).
+    pub non_temporal: bool,
+    /// Fraction of *random* accesses that target the warm region (skewed
+    /// reuse). Real pointer-chasing codes keep a hot core of their
+    /// footprint, which both smooths working-set knees (§3.2) and lets an
+    /// allocation matching the working set reach ~95% of peak performance
+    /// (Fig 12's 9-way point for mcf).
+    pub warm_access_frac: f64,
+    /// Size of the warm region as a fraction of the working set.
+    pub warm_region_frac: f64,
+    /// If non-zero, the sequential cursor jumps to a random position
+    /// every this many steps: short bursts that *confirm* the hardware
+    /// stream prefetchers and then abandon the stream, wasting the
+    /// prefetched lines. This is the access shape that makes `lusearch`
+    /// run *slower* with prefetching enabled (Fig 3).
+    pub seq_jump_every: u32,
+}
+
+impl PatternMix {
+    /// A compute-heavy pattern: tiny footprint, mostly hot traffic.
+    pub const fn compute(ws_bytes: u64, mem_per_ki: u32) -> Self {
+        PatternMix {
+            ws_bytes,
+            hot_bytes: 16 * 1024,
+            seq_frac: 0.02,
+            rand_frac: 0.03,
+            seq_mlp: 4.0,
+            rand_mlp: 2.0,
+            write_frac: 0.25,
+            mem_per_ki,
+            non_temporal: false,
+            warm_access_frac: 0.6,
+            warm_region_frac: 0.3,
+            seq_jump_every: 0,
+        }
+    }
+
+    /// Validates the mix.
+    ///
+    /// # Panics
+    /// Panics if fractions are out of range or the sets are empty.
+    pub fn validate(&self) {
+        assert!(self.ws_bytes >= 64, "working set smaller than one line");
+        assert!(self.hot_bytes >= 64, "hot set smaller than one line");
+        assert!(self.seq_frac >= 0.0 && self.rand_frac >= 0.0 && self.write_frac >= 0.0);
+        assert!(self.seq_frac + self.rand_frac <= 1.0 + 1e-9, "pattern fractions exceed 1");
+        assert!(self.write_frac <= 1.0);
+        assert!(self.mem_per_ki > 0 && self.mem_per_ki <= 1000, "mem_per_ki out of range");
+        assert!(self.seq_mlp >= 1.0 && self.rand_mlp >= 1.0);
+        assert!(
+            (0.0..=1.0).contains(&self.warm_access_frac) && (0.0..=1.0).contains(&self.warm_region_frac),
+            "warm-skew fractions out of range"
+        );
+        assert!(self.warm_region_frac > 0.0, "warm region must be non-empty");
+    }
+}
+
+/// One entry of an application's phase schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Fraction of the application's total work spent in this phase.
+    pub work_fraction: f64,
+    /// The phase's access pattern.
+    pub mix: PatternMix,
+}
+
+/// Full model of one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Name as it appears in the paper's figures (e.g. `"429.mcf"`).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Total instructions at full scale (across all threads).
+    pub total_instructions: u64,
+    /// Base cycles per instruction for non-stalled work.
+    pub base_cpi: f64,
+    /// Amdahl serial fraction of the work.
+    pub serial_fraction: f64,
+    /// Per-extra-thread work inflation (synchronization, GC pressure):
+    /// each thread's parallel share is multiplied by
+    /// `1 + sync_overhead * (threads - 1)`.
+    pub sync_overhead: f64,
+    /// Maximum threads the application can use (1 for SPEC and the
+    /// microbenchmarks).
+    pub max_threads: usize,
+    /// Phase schedule; fractions must sum to 1.
+    pub phases: Vec<PhaseSpec>,
+    /// Expected Table 1 class (for calibration tests).
+    pub scal_class: ScalClass,
+    /// Expected Table 2 class (for calibration tests).
+    pub llc_class: LlcClass,
+    /// Whether Table 2 bolds the app (>10 LLC accesses per kilo-instr).
+    pub high_apki: bool,
+}
+
+impl AppSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if the phase schedule is empty, fractions don't sum to ~1, or
+    /// any mix is invalid.
+    pub fn validate(&self) {
+        assert!(!self.phases.is_empty(), "{}: no phases", self.name);
+        let total: f64 = self.phases.iter().map(|p| p.work_fraction).sum();
+        assert!((total - 1.0).abs() < 1e-6, "{}: phase fractions sum to {total}", self.name);
+        for p in &self.phases {
+            assert!(p.work_fraction > 0.0, "{}: empty phase", self.name);
+            p.mix.validate();
+        }
+        assert!(self.max_threads >= 1 && self.max_threads <= 8);
+        assert!(self.serial_fraction >= 0.0 && self.serial_fraction <= 1.0);
+        assert!(self.sync_overhead >= 0.0 && self.sync_overhead < 1.0);
+        assert!(self.base_cpi > 0.0);
+        assert!(self.total_instructions > 0);
+    }
+
+    /// Instruction budget of thread `thread` when the app runs with
+    /// `threads` threads at `scale`.
+    ///
+    /// The Amdahl serial share is charged to thread 0; every thread's
+    /// parallel share inflates with the sync overhead. Threads beyond
+    /// `max_threads` receive no work.
+    pub fn thread_budget(&self, threads: usize, thread: usize, scale: Scale) -> u64 {
+        assert!(thread < threads, "thread index out of range");
+        let effective = threads.min(self.max_threads);
+        if thread >= effective {
+            return 0;
+        }
+        let total = (self.total_instructions / scale.work_div).max(1000) as f64;
+        let serial = self.serial_fraction * total;
+        let parallel_share = (1.0 - self.serial_fraction) * total / effective as f64
+            * (1.0 + self.sync_overhead * (effective as f64 - 1.0));
+        let budget = if thread == 0 { serial + parallel_share } else { parallel_share };
+        budget.max(1.0) as u64
+    }
+
+    /// Builds the access stream for thread `thread` of a `threads`-thread
+    /// run in address space `asid`.
+    ///
+    /// Streams are deterministic for a given `(name, thread, seed)`.
+    pub fn thread_stream(&self, threads: usize, thread: usize, asid: u16, scale: Scale, seed: u64) -> AppThreadStream {
+        AppThreadStream::new(self.clone(), threads, thread, asid, scale, seed, false)
+    }
+
+    /// Like [`Self::thread_stream`] but the stream restarts forever — the
+    /// paper's "continuously running background application" (§5, Fig 9).
+    pub fn endless_stream(&self, threads: usize, thread: usize, asid: u16, scale: Scale, seed: u64) -> AppThreadStream {
+        AppThreadStream::new(self.clone(), threads, thread, asid, scale, seed, true)
+    }
+
+    /// Number of threads that will actually receive work.
+    pub fn effective_threads(&self, requested: usize) -> usize {
+        requested.min(self.max_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(serial: f64, sync: f64, max_threads: usize) -> AppSpec {
+        AppSpec {
+            name: "dummy",
+            suite: Suite::Parsec,
+            total_instructions: 8_000_000,
+            base_cpi: 1.0,
+            serial_fraction: serial,
+            sync_overhead: sync,
+            max_threads,
+            phases: vec![PhaseSpec { work_fraction: 1.0, mix: PatternMix::compute(1 << 20, 300) }],
+            scal_class: ScalClass::High,
+            llc_class: LlcClass::Low,
+            high_apki: false,
+        }
+    }
+
+    #[test]
+    fn budgets_split_parallel_work() {
+        let spec = dummy(0.0, 0.0, 8);
+        let scale = Scale { capacity_div: 1, work_div: 1 };
+        let b0 = spec.thread_budget(4, 0, scale);
+        let b1 = spec.thread_budget(4, 1, scale);
+        assert_eq!(b0, b1);
+        assert_eq!(b0, 2_000_000);
+    }
+
+    #[test]
+    fn serial_work_lands_on_thread_zero() {
+        let spec = dummy(0.5, 0.0, 8);
+        let scale = Scale { capacity_div: 1, work_div: 1 };
+        let b0 = spec.thread_budget(4, 0, scale);
+        let b1 = spec.thread_budget(4, 1, scale);
+        assert_eq!(b0, 4_000_000 + 1_000_000);
+        assert_eq!(b1, 1_000_000);
+    }
+
+    #[test]
+    fn sync_overhead_inflates_parallel_shares() {
+        let spec = dummy(0.0, 0.1, 8);
+        let scale = Scale { capacity_div: 1, work_div: 1 };
+        // 4 threads: each share inflated by 1 + 0.1*3 = 1.3.
+        assert_eq!(spec.thread_budget(4, 1, scale), 2_600_000);
+    }
+
+    #[test]
+    fn threads_beyond_max_get_nothing() {
+        let spec = dummy(0.0, 0.0, 1);
+        let scale = Scale { capacity_div: 1, work_div: 1 };
+        assert_eq!(spec.thread_budget(4, 0, scale), 8_000_000);
+        assert_eq!(spec.thread_budget(4, 1, scale), 0);
+        assert_eq!(spec.effective_threads(4), 1);
+    }
+
+    #[test]
+    fn validate_accepts_sane_spec() {
+        dummy(0.1, 0.01, 8).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "phase fractions")]
+    fn validate_rejects_bad_phase_sum() {
+        let mut s = dummy(0.0, 0.0, 8);
+        s.phases[0].work_fraction = 0.5;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions exceed 1")]
+    fn validate_rejects_oversubscribed_mix() {
+        let mut s = dummy(0.0, 0.0, 8);
+        s.phases[0].mix.seq_frac = 0.7;
+        s.phases[0].mix.rand_frac = 0.7;
+        s.validate();
+    }
+
+    #[test]
+    fn work_div_shrinks_budgets() {
+        let spec = dummy(0.0, 0.0, 8);
+        let full = spec.thread_budget(1, 0, Scale { capacity_div: 1, work_div: 1 });
+        let small = spec.thread_budget(1, 0, Scale { capacity_div: 1, work_div: 8 });
+        assert_eq!(full, small * 8);
+    }
+}

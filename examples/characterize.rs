@@ -1,0 +1,58 @@
+//! Characterize one application the way the paper's §3 does: thread
+//! scalability, LLC-capacity sensitivity, prefetcher sensitivity, and
+//! bandwidth sensitivity — the four axes behind the Figure 5 clustering.
+//!
+//! ```text
+//! cargo run --release --example characterize -- 429.mcf
+//! ```
+
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::msr::PrefetcherMask;
+use waypart::workloads::registry;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "x264".to_string());
+    let app = registry::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown application {name}; pick one of:");
+        for a in registry::all() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    });
+    let runner = Runner::new(RunnerConfig::test());
+
+    println!("== {} ({:?}) ==", app.name, app.suite);
+    println!(
+        "paper classes: scalability {:?}, LLC utility {:?}{}\n",
+        app.scal_class,
+        app.llc_class,
+        if app.high_apki { ", >10 LLC accesses/KI" } else { "" }
+    );
+
+    println!("thread scalability (speedup vs 1 thread, hyperthread pairs first):");
+    let t1 = runner.run_solo(&app, 1, 12).cycles;
+    for threads in 1..=8 {
+        let t = runner.run_solo(&app, threads, 12).cycles;
+        let speedup = t1 as f64 / t as f64;
+        println!("  {threads} threads: {speedup:5.2}x {}", "*".repeat((speedup * 8.0) as usize));
+    }
+
+    println!("\nLLC capacity (4 threads, execution time normalized to 12 ways):");
+    let full = runner.run_solo(&app, 4, 12).cycles as f64;
+    for ways in 1..=12 {
+        let r = runner.run_solo(&app, 4, ways);
+        println!(
+            "  {ways:>2} ways: {:5.2}x time, {:6.1} MPKI",
+            r.cycles as f64 / full,
+            r.counters.mpki()
+        );
+    }
+
+    let on = runner.run_solo_configured(&app, 4, 12, PrefetcherMask::all_enabled()).cycles as f64;
+    let off = runner.run_solo_configured(&app, 4, 12, PrefetcherMask::all_disabled()).cycles as f64;
+    println!("\nprefetcher sensitivity: time(on)/time(off) = {:.3}", on / off);
+
+    let hog = registry::by_name("stream_uncached").expect("registered");
+    let with_hog = runner.run_with_hog(&app, &hog).fg_cycles as f64;
+    println!("bandwidth sensitivity: slowdown next to stream_uncached = {:.3}x", with_hog / full);
+}

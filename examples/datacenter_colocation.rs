@@ -1,0 +1,69 @@
+//! The paper's warehouse-scale motivation (§1): a latency-sensitive
+//! user-facing service is co-located with batch work (indexing) to recover
+//! the capacity that clusters dedicated to one application leave idle.
+//!
+//! We cast `471.omnetpp` (high LLC utility, latency-sensitive) as the
+//! user-facing foreground and `459.GemsFDTD` (streaming batch job) as the
+//! background, and compare all four policies the paper evaluates: no
+//! partitioning, fair split, best static biased split, and the dynamic
+//! controller.
+//!
+//! ```text
+//! cargo run --release --example datacenter_colocation
+//! ```
+
+use waypart::core::dynamic::DynamicConfig;
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::core::static_search::best_biased;
+use waypart::workloads::registry;
+
+fn main() {
+    let runner = Runner::new(RunnerConfig::test());
+    let fg = registry::by_name("471.omnetpp").expect("registered");
+    let bg = registry::by_name("459.GemsFDTD").expect("registered");
+
+    println!("foreground: {} (latency-sensitive service)", fg.name);
+    println!("background: {} (continuously running batch job)\n", bg.name);
+
+    // Baseline: the service alone on its 2 cores with the whole LLC.
+    let solo = runner.run_solo(&fg, 4, 12);
+    println!("service alone: {} cycles (the responsiveness baseline)\n", solo.cycles);
+
+    let mut report = |label: &str, fg_cycles: u64, bg_rate: f64, detail: String| {
+        let slowdown = (fg_cycles as f64 / solo.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{label:<22} service {slowdown:+5.1}%   batch throughput {bg_rate:.4} instr/cycle   {detail}"
+        );
+    };
+
+    let shared = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+    report("shared (no partition)", shared.fg_cycles, shared.bg_rate, String::new());
+
+    let fair = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Fair);
+    report("fair (6/6 ways)", fair.fg_cycles, fair.bg_rate, String::new());
+
+    let search = best_biased(&runner, &fg, &bg, solo.cycles);
+    report(
+        "best static biased",
+        search.best.fg_cycles,
+        search.best.bg_rate,
+        format!("(service gets {} of 12 ways)", search.fg_ways),
+    );
+
+    let dynamic = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
+    let ways: Vec<String> = dynamic.fg_ways_trace.iter().map(|(_, w)| w.to_string()).collect();
+    report(
+        "dynamic (Alg 6.2)",
+        dynamic.fg_cycles,
+        dynamic.bg_rate,
+        format!("({} reallocations)", dynamic.reallocations),
+    );
+    println!("\ndynamic way trace (service allocation over time): {}", ways.join(" → "));
+
+    println!(
+        "\nThe paper's claim to check: biased/dynamic protect the service far\n\
+         better than naive sharing, at comparable batch throughput; the\n\
+         dynamic controller needs no offline profiling sweep to get there."
+    );
+}

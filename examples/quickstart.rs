@@ -1,0 +1,51 @@
+//! Quickstart: run one application on the simulated machine and read its
+//! counters and energy — the "hello world" of the library.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::workloads::registry;
+
+fn main() {
+    // A 1/64-capacity machine with proportionally scaled workloads: the
+    // paper's 6 MB LLC becomes 96 KB, runs take milliseconds, and every
+    // capacity *ratio* (the thing all results depend on) is preserved.
+    let runner = Runner::new(RunnerConfig::test());
+
+    let app = registry::by_name("429.mcf").expect("mcf is registered");
+    println!("running {} (SPEC CPU2006) alone, 1 thread, full LLC...", app.name);
+
+    let result = runner.run_solo(&app, 1, 12);
+    let cfg = runner.config();
+    let seconds = cfg.machine.cycles_to_seconds(result.cycles);
+
+    println!("  cycles          : {}", result.cycles);
+    println!("  simulated time  : {:.3} ms", seconds * 1e3);
+    println!("  instructions    : {}", result.counters.instructions);
+    println!("  IPC             : {:.3}", result.counters.ipc());
+    println!("  LLC accesses/KI : {:.1}", result.counters.apki());
+    println!("  LLC misses/KI   : {:.1}", result.counters.mpki());
+    println!("  socket energy   : {:.4} J", result.energy.socket_j);
+    println!("  wall energy     : {:.4} J", result.energy.wall_j);
+
+    // mcf's famous phase behavior (Figure 12): watch windowed MPKI move.
+    println!("\nwindowed MPKI trace ({} windows):", result.mpki.len());
+    for (i, (instr, mpki)) in result.mpki.points().iter().enumerate().step_by(4) {
+        let bar = "#".repeat((mpki / 2.0).min(40.0) as usize);
+        println!("  w{i:>3} @ {instr:>9} instr | {mpki:6.1} {bar}");
+    }
+
+    // Now give it less cache and watch the misses climb.
+    println!("\ncapacity sensitivity (1 thread):");
+    for ways in [2, 4, 6, 8, 10, 12] {
+        let r = runner.run_solo(&app, 1, ways);
+        println!(
+            "  {ways:>2} ways ({:>4} KB): {:>10} cycles, {:5.1} MPKI",
+            cfg.machine.llc_bytes_for_ways(ways) / 1024,
+            r.cycles,
+            r.counters.mpki()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Operate the simulated machine the way an SRE drives Intel CAT through
+//! Linux resctrl: write schemata lines for a latency-critical class of
+//! service and a best-effort class, then watch the isolation take effect.
+//!
+//! ```text
+//! cargo run --release --example resctrl_ops
+//! ```
+
+use waypart::core::resctl::{apply, Schemata};
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::Machine;
+use waypart::workloads::registry;
+
+fn main() {
+    let cfg = RunnerConfig::test();
+    let runner = Runner::new(cfg.clone());
+    let fg = registry::by_name("471.omnetpp").expect("registered");
+    let bg = registry::by_name("canneal").expect("registered");
+
+    // The two classes of service, straight out of a resctrl runbook:
+    //   /sys/fs/resctrl/latency_critical/schemata  ->  L3:0=ff0
+    //   /sys/fs/resctrl/best_effort/schemata       ->  L3:0=00f
+    let latency_critical: Schemata = "L3:0=ff0".parse().expect("valid schemata");
+    let best_effort: Schemata = "L3:0=00f".parse().expect("valid schemata");
+    println!("latency_critical: {latency_critical}");
+    println!("best_effort:      {best_effort}");
+
+    // Invalid lines are rejected with CAT's own rules:
+    for bad in ["L3:0=0", "L3:0=505", "L3:0=fffff"] {
+        let err = bad.parse::<Schemata>().unwrap_err();
+        println!("rejected {bad:>10}: {err}");
+    }
+
+    // Drive a machine manually: service on cores 0-1, batch on cores 2-3.
+    let mut machine = Machine::new(cfg.machine.clone());
+    apply(&mut machine, &[0, 1], &latency_critical);
+    apply(&mut machine, &[2, 3], &best_effort);
+    for t in 0..4 {
+        machine.attach(t, 1, Box::new(fg.thread_stream(4, t, 1, cfg.scale, 1)));
+    }
+    for t in 0..4 {
+        machine.attach(4 + t, 2, Box::new(bg.endless_stream(4, t, 2, cfg.scale, 2)));
+    }
+    while !machine.app_done(1) {
+        machine.run_quantum();
+    }
+    let partitioned = machine.finish_time(1).expect("finished");
+
+    // Compare with no isolation at all.
+    let solo = runner.run_solo(&fg, 4, 12).cycles;
+    let shared = runner
+        .run_pair_endless_bg(&fg, &bg, waypart::core::policy::PartitionPolicy::Shared)
+        .fg_cycles;
+
+    println!("\nservice runtime:");
+    println!("  alone               : {solo} cycles");
+    println!("  shared with batch   : {shared} cycles ({:+.1}%)", (shared as f64 / solo as f64 - 1.0) * 100.0);
+    println!(
+        "  resctrl-partitioned : {partitioned} cycles ({:+.1}%)",
+        (partitioned as f64 / solo as f64 - 1.0) * 100.0
+    );
+}

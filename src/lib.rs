@@ -1,0 +1,61 @@
+//! # waypart
+//!
+//! A from-scratch reproduction of **Cook, Moreto, Bird, Dao, Patterson,
+//! Asanović — "A Hardware Evaluation of Cache Partitioning to Improve
+//! Utilization and Energy-Efficiency while Preserving Responsiveness"
+//! (ISCA 2013)** as a Rust library.
+//!
+//! The paper measures, on a prototype Sandy Bridge x86 with way-based LLC
+//! partitioning, whether a latency-sensitive *foreground* application and a
+//! throughput *background* application can share a socket without hurting
+//! responsiveness — and shows that a lightweight dynamic partitioning
+//! controller keeps the foreground within 1–2% of its best static
+//! allocation while raising background throughput 19% on average.
+//!
+//! This crate is a facade re-exporting the whole system:
+//!
+//! * [`sim`] — the machine: 4 cores × 2 hyperthreads, private L1/L2, a
+//!   6 MB 12-way *inclusive* LLC with per-core way-allocation masks
+//!   (replacement-only, no flush on reallocation), 4 hardware prefetchers,
+//!   ring + DRAM bandwidth models, and hardware performance counters;
+//! * [`workloads`] — statistical models of the paper's 45 applications
+//!   (PARSEC, DaCapo, SPEC CPU2006, parallel apps, microbenchmarks),
+//!   calibrated against the paper's Tables 1–2 and Figures 1–4;
+//! * [`perfmon`] — the libpfm analog: windowed counter sampling and MPKI
+//!   traces;
+//! * [`energy`] — the RAPL / wall-meter analog;
+//! * [`core`] — the paper's contribution: static partitioning policies,
+//!   phase detection (Alg 6.1), the dynamic partitioner (Alg 6.2), the
+//!   biased-partition oracle sweep, and the measurement runner;
+//! * [`analysis`] — single-linkage clustering, feature vectors, and
+//!   consolidation metrics;
+//! * [`experiments`] — one regenerator per table/figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use waypart::core::runner::{Runner, RunnerConfig};
+//! use waypart::core::policy::PartitionPolicy;
+//! use waypart::workloads::registry;
+//!
+//! // A scaled-down machine + workloads for fast experimentation.
+//! let runner = Runner::new(RunnerConfig::test());
+//! let fg = registry::by_name("471.omnetpp").expect("registered");
+//! let bg = registry::by_name("459.GemsFDTD").expect("registered");
+//!
+//! let solo = runner.run_solo(&fg, 4, 12);
+//! let pair = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 9 });
+//! let slowdown = pair.fg_cycles as f64 / solo.cycles as f64;
+//! assert!(slowdown < 2.0);
+//! ```
+//!
+//! See `examples/` for full scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment inventory and paper-vs-measured results.
+
+pub use waypart_analysis as analysis;
+pub use waypart_core as core;
+pub use waypart_energy as energy;
+pub use waypart_experiments as experiments;
+pub use waypart_perfmon as perfmon;
+pub use waypart_sim as sim;
+pub use waypart_workloads as workloads;

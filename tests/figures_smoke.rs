@@ -1,0 +1,103 @@
+//! Per-figure smoke tests on reduced application subsets: each figure's
+//! regenerator runs end-to-end and reproduces its panel's defining claim.
+
+use waypart::core::runner::RunnerConfig;
+use waypart::experiments::*;
+
+fn lab() -> Lab {
+    Lab::new(RunnerConfig::test())
+}
+
+#[test]
+fn fig1_suites_order_as_in_paper() {
+    // §3.1: PARSEC is clearly the most scalable suite; SPEC is serial.
+    let lab = lab();
+    let f1 = fig1::run_subset(&lab, Some(&["streamcluster", "x264", "h2", "462.libquantum"]));
+    let parsec_peak = f1.curve("x264").unwrap().speedups.iter().cloned().fold(0.0, f64::max);
+    let dacapo_low_peak = f1.curve("h2").unwrap().speedups.iter().cloned().fold(0.0, f64::max);
+    let spec_peak = f1.curve("462.libquantum").unwrap().speedups.iter().cloned().fold(0.0, f64::max);
+    assert!(parsec_peak > 3.0, "x264 peak {parsec_peak:.2}");
+    assert!(dacapo_low_peak < 2.0, "h2 peak {dacapo_low_peak:.2}");
+    assert!(spec_peak < 1.1, "libquantum peak {spec_peak:.2}");
+}
+
+#[test]
+fn fig2_archetype_curves() {
+    let lab = lab();
+    let f2 = fig2::run_for(&lab, &["tomcat"], &[4]);
+    let tomcat = f2.curve("tomcat", 4).unwrap();
+    // Saturated utility: big early gains, then a flat tail.
+    let early_gain = tomcat.times[2] as f64 / tomcat.times[7] as f64;
+    let tail_gain = tomcat.times[9] as f64 / tomcat.times[11] as f64;
+    assert!(early_gain > 1.03, "tomcat early gain {early_gain:.3}");
+    assert!(tail_gain < 1.02, "tomcat tail gain {tail_gain:.3} should be flat");
+}
+
+#[test]
+fn fig6_energy_follows_runtime() {
+    // §4: "performance improvements translate directly to energy
+    // improvements" — race-to-halt. Across dedup's allocation space the
+    // wall-energy-optimal point must also be (near-)runtime-optimal.
+    let lab = lab();
+    let f6 = fig6::run_for(&lab, &["dedup"]);
+    let space = f6.space("dedup").unwrap();
+    let opt = space.optimal();
+    let fastest = space.points.iter().min_by_key(|p| p.cycles).unwrap();
+    assert!(
+        opt.cycles as f64 <= fastest.cycles as f64 * 1.15,
+        "energy optimum ({} cycles) far from runtime optimum ({})",
+        opt.cycles,
+        fastest.cycles
+    );
+}
+
+#[test]
+fn fig7_contour_has_optimal_plateau() {
+    // §4: "many resource allocations achieve near optimal execution
+    // time" — the level-0 contour band must contain several cells.
+    let lab = lab();
+    let f6 = fig6::run_for(&lab, &["ferret"]);
+    let f7 = fig7::run(&f6);
+    let g = f7.grid("ferret").unwrap();
+    let near_optimal = (1..=8)
+        .flat_map(|t| (1..=12).map(move |w| (t, w)))
+        .filter(|&(t, w)| g.level(t, w) <= 1)
+        .count();
+    assert!(near_optimal >= 4, "only {near_optimal} near-optimal allocations");
+}
+
+#[test]
+fn fig8_sensitivity_and_aggression_are_directional() {
+    let lab = lab();
+    let f8 = fig8::run_subset(&lab, Some(&["462.libquantum", "swaptions", "stream_uncached"]));
+    // libquantum is sensitive; swaptions is not; the hog is the aggressor.
+    let lq_under_hog = f8.cell("462.libquantum", "stream_uncached").unwrap();
+    let sw_under_hog = f8.cell("swaptions", "stream_uncached").unwrap();
+    assert!(lq_under_hog > 1.15, "libquantum under hog {lq_under_hog:.3}");
+    assert!(sw_under_hog < 1.05, "swaptions under hog {sw_under_hog:.3}");
+    assert!(f8.aggression("stream_uncached").unwrap() > f8.aggression("swaptions").unwrap());
+}
+
+#[test]
+fn fig12_dynamic_tracks_mcf_phases() {
+    let lab = lab();
+    let f12 = fig12::run(&lab);
+    // Static allocations order by capacity.
+    assert!(f12.series(2).unwrap().mean() > f12.series(9).unwrap().mean());
+    // The dynamic run visits both generous and lean allocations.
+    let ways: Vec<usize> = f12.dynamic_ways.iter().map(|&(_, w)| w).collect();
+    let max_w = *ways.iter().max().unwrap();
+    let min_w = *ways.iter().min().unwrap();
+    assert!(max_w >= 10, "controller never expanded (max {max_w})");
+    assert!(min_w <= 6, "controller never reclaimed (min {min_w})");
+}
+
+#[test]
+fn table2_capacity_overprovisioning() {
+    // §3.2's central observation: the LLC is overprovisioned — a large
+    // fraction of apps reach (near-)peak performance at half the cache.
+    let lab = lab();
+    let t2 = table2::run(&lab);
+    let at_half = t2.fraction_satisfied_at(0.5);
+    assert!(at_half > 0.35, "only {:.0}% of apps satisfied at half the LLC", at_half * 100.0);
+}

@@ -1,0 +1,37 @@
+//! The capstone integration test: regenerate the consolidated experiments
+//! (Figs 9–11, 13) over the six cluster representatives at test scale and
+//! assert the paper's headline *shape* holds — who wins, in which
+//! direction — per the reproduction contract in DESIGN.md §4.
+
+use waypart::core::runner::RunnerConfig;
+use waypart::experiments::{fig10, fig11, fig13, fig9, headline, Lab};
+
+#[test]
+fn headline_shape_holds() {
+    let lab = Lab::new(RunnerConfig::test());
+    let f9 = fig9::run(&lab);
+    let f10 = fig10::run(&lab, &f9);
+    let f11 = fig11::run(&f10);
+    let f13 = fig13::run(&lab, &f9);
+    let h = headline::run(&f9, &f10, &f11, &f13);
+
+    let violations = h.shape_violations();
+    assert!(violations.is_empty(), "headline shape violated:\n{}\n\n{}", violations.join("\n"), h.render());
+
+    // Spot-check the headline magnitudes are in the paper's neighbourhood
+    // (loose bands — the substrate is a simulator, not the testbed).
+    assert!(
+        h.biased_avg_slowdown < 1.10,
+        "biased average slowdown {:.3} far from the paper's 1.02",
+        h.biased_avg_slowdown
+    );
+    assert!(
+        h.shared_worst_slowdown > 1.10,
+        "shared worst-case slowdown {:.3} should show real degradation (paper: 1.345)",
+        h.shared_worst_slowdown
+    );
+    assert!(
+        h.dynamic_bg_peak > h.dynamic_bg_gain,
+        "peak dynamic gain should exceed the mean"
+    );
+}

@@ -1,0 +1,140 @@
+//! Cross-crate property tests on the simulator's architectural invariants.
+
+use proptest::prelude::*;
+use waypart::sim::addr::LineAddr;
+use waypart::sim::config::MachineConfig;
+use waypart::sim::dram::DramModel;
+use waypart::sim::hierarchy::Hierarchy;
+use waypart::sim::msr::PrefetcherMask;
+use waypart::sim::ring::RingModel;
+use waypart::sim::stream::Access;
+use waypart::sim::WayMask;
+
+/// A randomized access for the property drivers.
+#[derive(Debug, Clone)]
+struct Op {
+    core: usize,
+    line: u64,
+    asid: u16,
+    write: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..4, 0u64..4096, 0u16..3, any::<bool>())
+        .prop_map(|(core, line, asid, write)| Op { core, line, asid, write })
+}
+
+fn drive(ops: &[Op], masks: [WayMask; 4], prefetch: bool) -> (Hierarchy, MachineConfig) {
+    let cfg = MachineConfig::scaled(64);
+    let mut h = Hierarchy::new(&cfg);
+    let mut ring = RingModel::new(cfg.ring);
+    let mut dram = DramModel::new(cfg.dram);
+    let pf = if prefetch { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
+    for op in ops {
+        let access = Access {
+            line: LineAddr::in_space(op.asid, op.line),
+            write: op.write,
+            pc: (op.line % 97) as u32,
+            non_temporal: false,
+            mlp: 1.0,
+        };
+        h.access(op.core, &access, masks[op.core], pf, &mut ring, &mut dram);
+    }
+    (h, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inclusion: every line resident in any L1 or L2 must also be in the
+    /// LLC — under arbitrary interleavings of cores, address spaces,
+    /// writes, masks, and prefetching.
+    #[test]
+    fn llc_inclusion_holds(ops in proptest::collection::vec(op_strategy(), 1..600), prefetch in any::<bool>()) {
+        let masks = [
+            WayMask::contiguous(0, 6),
+            WayMask::contiguous(0, 6),
+            WayMask::contiguous(6, 6),
+            WayMask::contiguous(6, 6),
+        ];
+        let (h, cfg) = drive(&ops, masks, prefetch);
+        for core in 0..cfg.cores {
+            for (_, _, line, _, _) in h.l1(core).iter_entries() {
+                prop_assert!(h.llc().contains(line), "L1 line {line} missing from LLC");
+            }
+            for (_, _, line, _, _) in h.l2(core).iter_entries() {
+                prop_assert!(h.llc().contains(line), "L2 line {line} missing from LLC");
+            }
+        }
+    }
+
+    /// Way-mask confinement: with static masks, every LLC entry filled by
+    /// a core sits in a way that core's mask allows.
+    #[test]
+    fn llc_fills_respect_masks(ops in proptest::collection::vec(op_strategy(), 1..600)) {
+        let masks = [
+            WayMask::contiguous(0, 3),
+            WayMask::contiguous(3, 3),
+            WayMask::contiguous(6, 3),
+            WayMask::contiguous(9, 3),
+        ];
+        let (h, _) = drive(&ops, masks, false);
+        for (_, way, line, owner, _) in h.llc().iter_entries() {
+            prop_assert!(
+                masks[owner as usize].allows(way),
+                "line {line} filled by core {owner} sits in way {way} outside its mask"
+            );
+        }
+    }
+
+    /// Capacity: the LLC never holds more valid lines than its geometry
+    /// allows, and per-core occupancy under a private mask never exceeds
+    /// that mask's share.
+    #[test]
+    fn occupancy_bounded(ops in proptest::collection::vec(op_strategy(), 1..800)) {
+        let masks = [
+            WayMask::contiguous(0, 3),
+            WayMask::contiguous(3, 3),
+            WayMask::contiguous(6, 3),
+            WayMask::contiguous(9, 3),
+        ];
+        let (h, cfg) = drive(&ops, masks, false);
+        let capacity = cfg.llc.size_bytes / cfg.line_bytes;
+        prop_assert!(h.llc_occupancy() <= capacity);
+        for core in 0..cfg.cores {
+            prop_assert!(h.llc_occupancy_of(core) <= capacity * 3 / 12);
+        }
+    }
+
+    /// The dynamic controller's allocation always stays within its bounds
+    /// and always partitions the cache exactly, for any MPKI input.
+    #[test]
+    fn dynamic_controller_bounds(mpkis in proptest::collection::vec(0.0f64..200.0, 1..300)) {
+        use waypart::core::dynamic::{DynamicConfig, DynamicPartitioner};
+        let cfg = DynamicConfig::paper();
+        let mut ctl = DynamicPartitioner::new(cfg);
+        for m in mpkis {
+            ctl.observe(m);
+            let r = ctl.masks();
+            prop_assert!(r.fg.count() >= cfg.min_fg_ways && r.fg.count() <= cfg.max_fg_ways);
+            prop_assert_eq!(r.fg.count() + r.bg.count(), cfg.total_ways);
+            prop_assert!(!r.fg.overlaps(r.bg));
+        }
+    }
+
+    /// Phase detector: never panics and never reports a phase start twice
+    /// in a row without an intervening close, for arbitrary inputs.
+    #[test]
+    fn phase_detector_state_machine(mpkis in proptest::collection::vec(0.0f64..500.0, 1..300)) {
+        use waypart::core::phase::{PhaseDetector, PhaseEvent};
+        let mut d = PhaseDetector::default();
+        let mut last_was_start = false;
+        for m in mpkis {
+            let e = d.observe(m);
+            if e == PhaseEvent::PhaseStart {
+                prop_assert!(!last_was_start, "phase start without close");
+            }
+            last_was_start = e == PhaseEvent::PhaseStart;
+        }
+    }
+}
