@@ -44,6 +44,7 @@ pub mod qos;
 pub mod resctl;
 pub mod runner;
 pub mod static_search;
+pub mod sweep;
 pub mod ucp;
 
 pub use dynamic::{DynamicConfig, DynamicPartitioner};

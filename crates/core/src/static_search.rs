@@ -43,10 +43,27 @@ pub fn best_biased(
     fg_solo_cycles: u64,
 ) -> BiasedSearch {
     let total_ways = runner.config().machine.llc.ways;
+    best_biased_with(total_ways, fg_solo_cycles, |policy| {
+        runner.run_pair_endless_bg(fg, bg, policy)
+    })
+}
+
+/// [`best_biased`] over an arbitrary run source — callers with a run
+/// cache (the experiments' `Lab`) pass a memoizing closure, so sweep
+/// results are shared with every other figure that ran the same
+/// allocation.
+///
+/// # Panics
+/// Panics if `total_ways < 3` (no sweep possible).
+pub fn best_biased_with(
+    total_ways: usize,
+    fg_solo_cycles: u64,
+    mut run: impl FnMut(PartitionPolicy) -> PairResult,
+) -> BiasedSearch {
     assert!(total_ways >= 3, "cannot sweep a {total_ways}-way cache");
     let mut candidates = Vec::new();
     for fg_ways in 1..total_ways {
-        let res = runner.run_pair_endless_bg(fg, bg, PartitionPolicy::Biased { fg_ways });
+        let res = run(PartitionPolicy::Biased { fg_ways });
         let slowdown = res.fg_cycles as f64 / fg_solo_cycles as f64;
         candidates.push((fg_ways, slowdown, res));
     }

@@ -8,6 +8,11 @@
 //! fig8 fig9 fig10 fig11 fig12 fig13 headline` or `all` (default). Output
 //! goes to `DIR` (default `results/<scale>/`) as one text file per
 //! artifact, and to stdout.
+//!
+//! Completed runs are stored in a persistent cache (`results/cache/`, or
+//! `$WAYPART_CACHE_DIR`), so a rerun — or an interrupted run resumed —
+//! only pays for measurements it has not seen before. Pass `--no-cache`
+//! to keep the cache in memory only. The final line reports hits/misses.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -18,14 +23,16 @@ use waypart_experiments::*;
 fn main() {
     let mut scale = "test".to_string();
     let mut out: Option<PathBuf> = None;
+    let mut use_cache = true;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
+            "--no-cache" => use_cache = false,
             "--help" | "-h" => {
-                println!("usage: reproduce [--scale test|bench|full] [--out DIR] [ARTIFACT...]");
+                println!("usage: reproduce [--scale test|bench|full] [--out DIR] [--no-cache] [ARTIFACT...]");
                 return;
             }
             other => {
@@ -52,9 +59,9 @@ fn main() {
     let out_dir = out.unwrap_or_else(|| PathBuf::from("results").join(&scale));
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    let lab = Lab::new(cfg);
+    let lab = if use_cache { Lab::persistent(cfg) } else { Lab::new(cfg) };
     let started = std::time::Instant::now();
-    let mut emit = |name: &str, text: String| {
+    let emit = |name: &str, text: String| {
         let path = out_dir.join(format!("{name}.txt"));
         std::fs::write(&path, &text).expect("write artifact");
         println!("\n=== {name} ({}s) ===\n{text}", started.elapsed().as_secs());
@@ -176,5 +183,13 @@ fn main() {
         emit("ext_mba", ext_mba::run(&lab).render());
     }
 
-    println!("\ndone in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
+    let stats = lab.cache_stats();
+    println!(
+        "\nrun cache: {} runs ({} memory hits, {} disk hits, {} misses)",
+        stats.total(),
+        stats.mem_hits,
+        stats.disk_hits,
+        stats.misses
+    );
+    println!("done in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
 }

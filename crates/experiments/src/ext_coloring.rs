@@ -13,7 +13,7 @@ use crate::report::Table;
 use crate::util::parallel_map;
 use serde::{Deserialize, Serialize};
 use waypart_core::policy::PartitionPolicy;
-use waypart_core::runner::{Runner, RunnerConfig};
+use waypart_core::runner::RunnerConfig;
 use waypart_sim::coloring::ColorAssignment;
 
 /// The pair compared (capacity-sensitive foreground, thrashing
@@ -51,17 +51,17 @@ pub struct ExtColoring {
 /// (coloring cannot work on the hashed LLC) so way and color runs see the
 /// same indexing.
 pub fn run(lab: &Lab) -> ExtColoring {
-    let _ = lab; // signature kept uniform with the other experiments
-    let runner = Runner::new(RunnerConfig::test_colored());
+    let lab = lab.sibling(RunnerConfig::test_colored());
+    let runner = lab.runner();
     let fg = waypart_workloads::registry::by_name(PAIR.0).expect("registered");
     let bg = waypart_workloads::registry::by_name(PAIR.1).expect("registered");
-    let solo = runner.run_solo(&fg, 4, 12).cycles as f64;
+    let solo = lab.solo(&fg, 4, 12).cycles as f64;
 
     // Matched splits: fg gets 1/4, 1/2, 3/4 of the cache either way.
     let splits: Vec<(usize, usize)> = vec![(3, 4), (6, 8), (9, 12)]; // (ways of 12, groups of 16)
     let cells = parallel_map(splits, |&(ways, groups)| {
-        let way = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: ways });
-        let color = runner.run_pair_colored(&fg, &bg, groups);
+        let way = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: ways });
+        let color = lab.pair_colored(&fg, &bg, groups);
         assert!(!way.truncated && !color.truncated, "coloring comparison truncated");
         ColoringCell {
             fg_fraction: ways as f64 / 12.0,

@@ -53,7 +53,7 @@ pub fn run(lab: &Lab) -> ExtMba {
     let cells = parallel_map(jobs, |&(f, throttle)| {
         let fg = lab.app(FOREGROUNDS[f]).clone();
         let solo = lab.pair_baseline(&fg).cycles as f64;
-        let r = lab.runner().run_pair_mba(&fg, &bg, PartitionPolicy::Biased { fg_ways: 9 }, throttle);
+        let r = lab.pair_mba(&fg, &bg, PartitionPolicy::Biased { fg_ways: 9 }, throttle);
         assert!(!r.truncated, "MBA run truncated");
         MbaCell {
             fg: fg.name.to_string(),

@@ -48,7 +48,7 @@ pub fn run(lab: &Lab) -> ExtQos {
     let cells = parallel_map(TARGETS.to_vec(), |&target| {
         let mut cfg = QosConfig::guarantee_95();
         cfg.target = target;
-        let r = lab.runner().run_pair_qos(&fg, &bg, cfg);
+        let r = lab.pair_qos(&fg, &bg, cfg);
         assert!(!r.truncated, "QoS run truncated at target {target}");
         QosCell {
             target,

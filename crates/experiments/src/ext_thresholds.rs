@@ -54,7 +54,7 @@ pub fn run(lab: &Lab) -> ExtThresholds {
             thr3: base.thr3 * scale,
             mpki_floor: base.mpki_floor,
         };
-        let r = lab.runner().run_pair_dynamic(&fg, &bg, cfg);
+        let r = lab.pair_dynamic(&fg, &bg, cfg);
         assert!(!r.truncated, "threshold run truncated at scale {scale}");
         ThresholdCell {
             scale,

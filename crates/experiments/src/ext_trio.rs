@@ -49,9 +49,9 @@ pub fn run(lab: &Lab) -> ExtTrio {
     let cells = parallel_map(jobs, |&(f, copies)| {
         let fg = lab.app(FOREGROUNDS[f]).clone();
         let solo = lab.pair_baseline(&fg).cycles as f64;
-        let shared = lab.runner().run_pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Shared);
+        let shared = lab.pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Shared);
         let biased =
-            lab.runner().run_pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Biased { fg_ways: 9 });
+            lab.pair_multi_bg(&fg, &bg, copies, PartitionPolicy::Biased { fg_ways: 9 });
         assert!(!shared.truncated && !biased.truncated, "{} truncated", fg.name);
         TrioCell {
             fg: fg.name.to_string(),

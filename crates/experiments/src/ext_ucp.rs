@@ -53,8 +53,8 @@ pub fn run_for(lab: &Lab, names: &[&str]) -> ExtUcp {
     let cells = parallel_map(jobs, |&(f, b)| {
         let fg = &specs[f];
         let bg = &specs[b];
-        let dynamic = lab.runner().run_pair_dynamic(fg, bg, DynamicConfig::paper());
-        let ucp = lab.runner().run_pair_ucp(fg, bg, UcpConfig::default_12way());
+        let dynamic = lab.pair_dynamic(fg, bg, DynamicConfig::paper());
+        let ucp = lab.pair_ucp(fg, bg, UcpConfig::default_12way());
         assert!(!dynamic.truncated && !ucp.truncated, "{}+{} truncated", fg.name, bg.name);
         let combined = |r: &waypart_core::runner::PairResult| {
             (r.fg_counters.instructions + r.bg_instructions) as f64 / r.fg_cycles.max(1) as f64

@@ -10,7 +10,7 @@
 
 use crate::lab::Lab;
 use crate::report::Table;
-use crate::util::parallel_map;
+use crate::util::{parallel_map, parallel_map_labeled};
 use serde::{Deserialize, Serialize};
 use waypart_analysis::SummaryStats;
 use waypart_core::policy::PartitionPolicy;
@@ -60,11 +60,11 @@ pub fn run_for(lab: &Lab, names: &[&str]) -> Fig10 {
             jobs.push((a, b));
         }
     }
-    let cells = parallel_map(jobs, |&(a, b)| {
+    let cells = parallel_map_labeled("fig10", jobs, |&(a, b)| {
         let fg = &specs[a];
         let bg = &specs[b];
         let run = |policy: PartitionPolicy| {
-            let r = lab.runner().run_pair_both_once(fg, bg, policy);
+            let r = lab.pair_both_once(fg, bg, policy);
             assert!(!r.truncated, "{} + {} truncated", fg.name, bg.name);
             (r.energy.socket_j, r.total_cycles)
         };

@@ -36,7 +36,7 @@ pub fn run(lab: &Lab) -> Fig12 {
         let res = lab.solo(&app, 1, w);
         (w, res.mpki.clone())
     });
-    let dynamic = lab.runner().run_pair_dynamic(&app, &bg, DynamicConfig::paper());
+    let dynamic = lab.pair_dynamic(&app, &bg, DynamicConfig::paper());
     assert!(!dynamic.truncated, "dynamic mcf run truncated");
     Fig12 {
         static_series,

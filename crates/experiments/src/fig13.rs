@@ -48,8 +48,8 @@ pub fn run_for(lab: &Lab, names: &[&str], fig9: &Fig9) -> Fig13 {
         let fg = &specs[f];
         let bg = &specs[b];
         let base = fig9.cell(fg.name, bg.name).expect("fig9 covers the pair");
-        let dynamic = lab.runner().run_pair_dynamic(fg, bg, DynamicConfig::paper());
-        let shared = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Shared);
+        let dynamic = lab.pair_dynamic(fg, bg, DynamicConfig::paper());
+        let shared = lab.pair_endless_bg(fg, bg, PartitionPolicy::Shared);
         assert!(!dynamic.truncated && !shared.truncated, "{}+{} truncated", fg.name, bg.name);
         let solo = lab.pair_baseline(fg).cycles as f64;
         let dynamic_slowdown = dynamic.fg_cycles as f64 / solo;

@@ -7,7 +7,7 @@
 
 use crate::lab::Lab;
 use crate::report::Table;
-use crate::util::parallel_map;
+use crate::util::{parallel_map, parallel_map_labeled};
 use serde::{Deserialize, Serialize};
 use waypart_analysis::SummaryStats;
 use waypart_core::policy::PartitionPolicy;
@@ -32,8 +32,8 @@ pub fn run_subset(lab: &Lab, names: Option<&[&str]>) -> Fig8 {
     // Baselines first (cached for later experiments too).
     let baselines = parallel_map((0..n).collect(), |&i| lab.pair_baseline(&apps[i]).cycles);
     let jobs: Vec<(usize, usize)> = (0..n).flat_map(|bg| (0..n).map(move |fg| (bg, fg))).collect();
-    let values = parallel_map(jobs.clone(), |&(bg, fg)| {
-        let res = lab.runner().run_pair_endless_bg(&apps[fg], &apps[bg], PartitionPolicy::Shared);
+    let values = parallel_map_labeled("fig8", jobs.clone(), |&(bg, fg)| {
+        let res = lab.pair_endless_bg(&apps[fg], &apps[bg], PartitionPolicy::Shared);
         assert!(!res.truncated, "{} under {} truncated", apps[fg].name, apps[bg].name);
         res.fg_cycles as f64 / baselines[fg] as f64
     });

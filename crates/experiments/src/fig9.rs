@@ -3,11 +3,11 @@
 
 use crate::lab::Lab;
 use crate::report::Table;
-use crate::util::parallel_map;
+use crate::util::{parallel_map, parallel_map_labeled};
 use serde::{Deserialize, Serialize};
 use waypart_analysis::SummaryStats;
 use waypart_core::policy::PartitionPolicy;
-use waypart_core::static_search::best_biased;
+use waypart_core::static_search::best_biased_with;
 use waypart_workloads::registry::CLUSTER_REPRESENTATIVES;
 
 /// One ordered pair's results (values are foreground slowdowns vs. solo).
@@ -43,13 +43,14 @@ pub fn run_for(lab: &Lab, names: &[&str]) -> Fig9 {
     let baselines = parallel_map((0..specs.len()).collect(), |&i| lab.pair_baseline(&specs[i]).cycles);
     let jobs: Vec<(usize, usize)> =
         (0..specs.len()).flat_map(|f| (0..specs.len()).map(move |b| (f, b))).collect();
-    let cells = parallel_map(jobs, |&(f, b)| {
+    let cells = parallel_map_labeled("fig9", jobs, |&(f, b)| {
         let fg = &specs[f];
         let bg = &specs[b];
         let solo = baselines[f];
-        let shared = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Shared);
-        let fair = lab.runner().run_pair_endless_bg(fg, bg, PartitionPolicy::Fair);
-        let search = best_biased(lab.runner(), fg, bg, solo);
+        let shared = lab.pair_endless_bg(fg, bg, PartitionPolicy::Shared);
+        let fair = lab.pair_endless_bg(fg, bg, PartitionPolicy::Fair);
+        let total_ways = lab.runner().config().machine.llc.ways;
+        let search = best_biased_with(total_ways, solo, |policy| lab.pair_endless_bg(fg, bg, policy));
         Fig9Cell {
             fg: fg.name.to_string(),
             bg: bg.name.to_string(),

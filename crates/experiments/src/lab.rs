@@ -1,42 +1,70 @@
 //! The shared measurement context.
 //!
-//! [`Lab`] wraps a [`Runner`] with a thread-safe cache of solo runs so the
-//! characterization experiments (Figs 1–5) and the consolidation baselines
-//! (Figs 8–13) never repeat a measurement — the software equivalent of the
-//! paper's measurement database.
+//! [`Lab`] wraps a [`Runner`] with a [`RunCache`] so the characterization
+//! experiments (Figs 1–5) and the consolidation baselines (Figs 8–13)
+//! never repeat a measurement — the software equivalent of the paper's
+//! measurement database. Every solo *and* pair run is memoized: Fig 13
+//! reuses Fig 9's shared-policy runs, ext_ucp reuses Fig 13's dynamic
+//! runs, and with [`Lab::persistent`] completed runs survive the process,
+//! so an interrupted `reproduce` resumes where it stopped.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
-
-use waypart_core::runner::{Runner, RunnerConfig, SoloResult};
+use waypart_core::dynamic::DynamicConfig;
+use waypart_core::policy::PartitionPolicy;
+use waypart_core::qos::QosConfig;
+use waypart_core::runner::{BothOnceResult, PairResult, Runner, RunnerConfig, SoloResult};
+use waypart_core::ucp::UcpConfig;
 use waypart_sim::msr::PrefetcherMask;
 use waypart_workloads::{registry, AppSpec};
 
-/// Cache key: application, threads, ways, prefetcher configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SoloKey {
-    app: &'static str,
-    threads: usize,
-    ways: usize,
-    prefetchers: bool,
-}
+use crate::runcache::{CacheStats, RunCache};
 
 /// Shared, cached measurement context.
 pub struct Lab {
     runner: Runner,
     apps: Vec<AppSpec>,
-    cache: Mutex<HashMap<SoloKey, SoloResult>>,
+    cache: RunCache,
 }
 
 impl Lab {
-    /// A lab over all 45 applications at the given configuration.
+    /// A lab over all 45 applications, memoizing runs within this process
+    /// only (what unit tests want — no cross-process state).
     pub fn new(cfg: RunnerConfig) -> Self {
-        Lab { runner: Runner::new(cfg), apps: registry::all(), cache: Mutex::new(HashMap::new()) }
+        let cache = RunCache::in_memory(&cfg);
+        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
+    }
+
+    /// A lab whose run cache also persists to disk (`results/cache/` or
+    /// `$WAYPART_CACHE_DIR`), shared across processes and invocations.
+    pub fn persistent(cfg: RunnerConfig) -> Self {
+        let cache = RunCache::persistent_default(&cfg);
+        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
+    }
+
+    /// A lab over a different runner configuration that inherits this
+    /// lab's persistence mode. For experiments that need their own
+    /// machine model (e.g. the page-coloring comparison, which requires
+    /// modulo indexing) while still sharing the on-disk store.
+    pub fn sibling(&self, cfg: RunnerConfig) -> Self {
+        let cache = match self.cache.dir() {
+            Some(dir) => RunCache::persistent(&cfg, dir.clone()),
+            None => RunCache::in_memory(&cfg),
+        };
+        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
     }
 
     /// The underlying runner.
     pub fn runner(&self) -> &Runner {
         &self.runner
+    }
+
+    /// The run cache (for hit/miss reporting).
+    pub fn cache(&self) -> &RunCache {
+        &self.cache
+    }
+
+    /// Cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// All application specs.
@@ -59,15 +87,74 @@ impl Lab {
 
     /// A cached solo run with prefetchers all-on or all-off.
     pub fn solo_configured(&self, app: &AppSpec, threads: usize, ways: usize, prefetchers: bool) -> SoloResult {
-        let key = SoloKey { app: app.name, threads, ways, prefetchers };
-        if let Some(hit) = self.cache.lock().expect("lab cache").get(&key) {
-            return hit.clone();
-        }
-        let pf = if prefetchers { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
-        let res = self.runner.run_solo_configured(app, threads, ways, pf);
+        let key = format!("solo|{}|t{threads}w{ways}pf{}", app.name, u8::from(prefetchers));
+        let res = self.cache.get_or_run(&key, || {
+            let pf = if prefetchers { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
+            self.runner.run_solo_configured(app, threads, ways, pf)
+        });
         assert!(!res.truncated, "{} truncated at {} threads / {} ways — raise max_quanta", app.name, threads, ways);
-        self.cache.lock().expect("lab cache").insert(key, res.clone());
         res
+    }
+
+    /// A cached endless-background pair run (foreground runs to
+    /// completion, background restarts forever).
+    pub fn pair_endless_bg(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> PairResult {
+        let key = format!("pair|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&policy));
+        self.cache.get_or_run(&key, || self.runner.run_pair_endless_bg(fg, bg, policy))
+    }
+
+    /// A cached run-both-once pair run (consolidation energy accounting).
+    pub fn pair_both_once(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> BothOnceResult {
+        let key = format!("both|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&policy));
+        self.cache.get_or_run(&key, || self.runner.run_pair_both_once(fg, bg, policy))
+    }
+
+    /// A cached dynamically-partitioned pair run (Algorithm 6.2).
+    pub fn pair_dynamic(&self, fg: &AppSpec, bg: &AppSpec, dyn_cfg: DynamicConfig) -> PairResult {
+        let key = format!("dyn|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&dyn_cfg));
+        self.cache.get_or_run(&key, || self.runner.run_pair_dynamic(fg, bg, dyn_cfg))
+    }
+
+    /// A cached UCP-controlled pair run (§7 baseline).
+    pub fn pair_ucp(&self, fg: &AppSpec, bg: &AppSpec, ucp_cfg: UcpConfig) -> PairResult {
+        let key = format!("ucp|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&ucp_cfg));
+        self.cache.get_or_run(&key, || self.runner.run_pair_ucp(fg, bg, ucp_cfg))
+    }
+
+    /// A cached QoS-controlled pair run.
+    pub fn pair_qos(&self, fg: &AppSpec, bg: &AppSpec, qos_cfg: QosConfig) -> PairResult {
+        let key = format!("qos|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&qos_cfg));
+        self.cache.get_or_run(&key, || self.runner.run_pair_qos(fg, bg, qos_cfg))
+    }
+
+    /// A cached pair run with multiple background copies.
+    pub fn pair_multi_bg(&self, fg: &AppSpec, bg: &AppSpec, copies: usize, policy: PartitionPolicy) -> PairResult {
+        let key =
+            format!("multi|{}+{}x{copies}|{}", fg.name, bg.name, serde::json::to_string(&policy));
+        self.cache.get_or_run(&key, || self.runner.run_pair_multi_bg(fg, bg, copies, policy))
+    }
+
+    /// A cached page-colored pair run (§7 software baseline).
+    pub fn pair_colored(&self, fg: &AppSpec, bg: &AppSpec, fg_groups: usize) -> PairResult {
+        let key = format!("color|{}+{}|g{fg_groups}", fg.name, bg.name);
+        self.cache.get_or_run(&key, || self.runner.run_pair_colored(fg, bg, fg_groups))
+    }
+
+    /// A cached pair run with the background under an MBA throttle.
+    pub fn pair_mba(
+        &self,
+        fg: &AppSpec,
+        bg: &AppSpec,
+        policy: PartitionPolicy,
+        bg_mba_percent: u8,
+    ) -> PairResult {
+        let key = format!(
+            "mba|{}+{}|{}|p{bg_mba_percent}",
+            fg.name,
+            bg.name,
+            serde::json::to_string(&policy)
+        );
+        self.cache.get_or_run(&key, || self.runner.run_pair_mba(fg, bg, policy, bg_mba_percent))
     }
 
     /// The solo baseline the multiprogram experiments normalize against:
@@ -78,7 +165,7 @@ impl Lab {
 
     /// Number of cached runs (for tests).
     pub fn cached_runs(&self) -> usize {
-        self.cache.lock().expect("lab cache").len()
+        self.cache.mem_len()
     }
 }
 
@@ -101,6 +188,8 @@ mod tests {
         let b = lab.solo(&app, 2, 12);
         assert_eq!(lab.cached_runs(), 1);
         assert_eq!(a.cycles, b.cycles);
+        let stats = lab.cache_stats();
+        assert_eq!((stats.mem_hits, stats.misses), (1, 1));
     }
 
     #[test]
@@ -111,6 +200,21 @@ mod tests {
         lab.solo(&app, 2, 6);
         lab.solo_configured(&app, 2, 12, false);
         assert_eq!(lab.cached_runs(), 3);
+    }
+
+    #[test]
+    fn pair_runs_are_cached_too() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fg = lab.app("swaptions").clone();
+        let bg = lab.app("dedup").clone();
+        let a = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+        let b = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+        assert_eq!(a.fg_cycles, b.fg_cycles);
+        assert_eq!(lab.cache_stats().mem_hits, 1);
+        // A different policy is a different run.
+        let c = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 });
+        assert!(c.fg_cycles > 0);
+        assert_eq!(lab.cached_runs(), 2);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod fig9;
 pub mod headline;
 pub mod lab;
 pub mod report;
+pub mod runcache;
 pub mod ext_thresholds;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,332 @@
+//! Persistent, content-addressed store of simulation runs.
+//!
+//! Every solo/pair run a [`crate::Lab`] performs is keyed by
+//! `(SCHEMA_VERSION, RunnerConfig hash, run kind, app names, policy,
+//! seed)` — the seed lives inside the `RunnerConfig` — and memoized at
+//! two levels:
+//!
+//! 1. **in-memory**, so repeated figures within one `reproduce` process
+//!    share runs (Fig 9's shared-policy runs are reused by Fig 13, the
+//!    biased sweep feeds both Fig 9 and the headline, …);
+//! 2. **on disk** (optional), so a second `reproduce` invocation, an
+//!    interrupted sweep, or another process reuses every completed run.
+//!
+//! # Staleness rule
+//!
+//! The simulator is deterministic: a key collision can only serve a wrong
+//! result if the *engine semantics* changed without the key changing.
+//! Config changes hash into the key; engine changes do not. Therefore:
+//! **whenever a change alters any golden fingerprint
+//! (`tests/golden_fingerprint.rs`, `tests/determinism.rs`), bump
+//! [`SCHEMA_VERSION`] in the same commit** (or purge `results/cache/`).
+//! See DESIGN.md for the full rule.
+//!
+//! Disk entries are one JSON file per run under the cache directory
+//! (default `results/cache/`, override with `WAYPART_CACHE_DIR`), named
+//! by the FNV-1a hash of the full key. Each file stores the key it was
+//! written for; a load whose stored key mismatches is treated as a miss,
+//! so hash collisions degrade to re-simulation, never to wrong data.
+//! Writes go through a temp file + atomic rename, so concurrent
+//! processes and interrupted runs can never leave a torn entry.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+use waypart_core::runner::RunnerConfig;
+
+/// Version of the *engine semantics* the cached results were produced
+/// under. Bump whenever simulation output changes for the same
+/// `RunnerConfig` (see the module docs for the rule).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Hit/miss counters of a cache (all loads since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Served from the in-process memo.
+    pub mem_hits: u64,
+    /// Served from a disk entry (and promoted into the memo).
+    pub disk_hits: u64,
+    /// Actually simulated.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.mem_hits + self.disk_hits + self.misses
+    }
+}
+
+/// Two-level (memory + optional disk) run memo.
+pub struct RunCache {
+    /// Full key → serialized result JSON.
+    mem: Mutex<HashMap<String, String>>,
+    /// Disk directory, `None` for in-memory-only caches.
+    dir: Option<PathBuf>,
+    /// FNV-1a of the canonical `RunnerConfig` JSON, baked into every key.
+    cfg_hash: u64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RunCache {
+    /// A cache that memoizes only within this process.
+    pub fn in_memory(cfg: &RunnerConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// A cache persisted under `dir` (created on first write).
+    pub fn persistent(cfg: &RunnerConfig, dir: PathBuf) -> Self {
+        Self::build(cfg, Some(dir))
+    }
+
+    /// A persistent cache at the default location: `$WAYPART_CACHE_DIR`
+    /// if set, else `results/cache/`.
+    pub fn persistent_default(cfg: &RunnerConfig) -> Self {
+        let dir = std::env::var_os("WAYPART_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results").join("cache"));
+        Self::persistent(cfg, dir)
+    }
+
+    fn build(cfg: &RunnerConfig, dir: Option<PathBuf>) -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+            cfg_hash: fnv1a(json::to_string(cfg).as_bytes()),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The disk directory, if persistent.
+    pub fn dir(&self) -> Option<&PathBuf> {
+        self.dir.as_ref()
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct runs memoized in memory.
+    pub fn mem_len(&self) -> usize {
+        self.mem.lock().expect("run cache").len()
+    }
+
+    /// Returns the cached result for `key_suffix`, or executes `run`,
+    /// memoizes its result, and returns it.
+    ///
+    /// `key_suffix` must uniquely describe the run *given the config*
+    /// (kind, app names, policy/controller parameters); the schema
+    /// version and config hash are prepended automatically.
+    pub fn get_or_run<T, F>(&self, key_suffix: &str, run: F) -> T
+    where
+        T: Serialize + Deserialize,
+        F: FnOnce() -> T,
+    {
+        let key = format!("v{SCHEMA_VERSION}|{:016x}|{key_suffix}", self.cfg_hash);
+
+        if let Some(text) = self.mem.lock().expect("run cache").get(&key) {
+            let value = json::from_str::<T>(text).expect("corrupt in-memory cache entry");
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+
+        if let Some(value) = self.load_disk::<T>(&key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+
+        let result = run();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let text = json::to_string(&result);
+        self.store_disk(&key, &text);
+        self.mem.lock().expect("run cache").insert(key, text);
+        result
+    }
+
+    /// File path for `key` under the cache directory.
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{:016x}.json", fnv1a(key.as_bytes()))))
+    }
+
+    /// Loads and validates a disk entry; any mismatch or parse failure is
+    /// a miss (never an error — the entry is simply re-simulated).
+    fn load_disk<T: Deserialize>(&self, key: &str) -> Option<T> {
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let envelope = json::parse(&text).ok()?;
+        let schema = envelope.field("schema").ok()?.as_u64().ok()?;
+        let stored_key = envelope.field("key").ok()?.as_str().ok()?;
+        if schema != u64::from(SCHEMA_VERSION) || stored_key != key {
+            return None;
+        }
+        let value_field = envelope.field("value").ok()?;
+        let result = T::from_value(value_field).ok()?;
+        // Promote to the in-process memo so later lookups skip the disk.
+        let text = json::to_string(value_field);
+        self.mem.lock().expect("run cache").insert(key.to_string(), text);
+        Some(result)
+    }
+
+    /// Writes an entry via temp file + rename; IO errors are swallowed
+    /// (the cache is an accelerator, not a correctness dependency).
+    fn store_disk(&self, key: &str, value_text: &str) {
+        let Some(path) = self.entry_path(key) else { return };
+        let Some(dir) = self.dir.as_ref() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let envelope = Value::Obj(vec![
+            ("schema".to_string(), Value::U64(u64::from(SCHEMA_VERSION))),
+            ("key".to_string(), Value::Str(key.to_string())),
+            ("value".to_string(), json::parse(value_text).expect("own serialization parses")),
+        ]);
+        // Unique temp name per process+key so concurrent writers never
+        // clobber each other's partial writes; rename is atomic within
+        // the directory and last-writer-wins is fine (entries for one
+        // key are identical by determinism).
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json::to_string(&envelope)).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+impl std::fmt::Debug for RunCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCache")
+            .field("dir", &self.dir)
+            .field("cfg_hash", &format_args!("{:016x}", self.cfg_hash))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// FNV-1a over bytes — stable across processes and platforms (unlike
+/// `DefaultHasher`, which is randomly seeded).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("waypart-runcache-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memoizes_in_memory() {
+        let cache = RunCache::in_memory(&RunnerConfig::test());
+        let mut runs = 0;
+        let a: u64 = cache.get_or_run("solo|x|t1w1", || {
+            runs += 1;
+            42
+        });
+        let b: u64 = cache.get_or_run("solo|x|t1w1", || {
+            runs += 1;
+            99
+        });
+        assert_eq!((a, b, runs), (42, 42, 1));
+        let s = cache.stats();
+        assert_eq!((s.mem_hits, s.disk_hits, s.misses), (1, 0, 1));
+    }
+
+    #[test]
+    fn persists_across_instances() {
+        let dir = tmp_dir("persist");
+        let cfg = RunnerConfig::test();
+        {
+            let cache = RunCache::persistent(&cfg, dir.clone());
+            let v: u64 = cache.get_or_run("pair|a+b|shared", || 7);
+            assert_eq!(v, 7);
+            assert_eq!(cache.stats().misses, 1);
+        }
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let v: u64 = cache.get_or_run("pair|a+b|shared", || panic!("must hit the disk"));
+        assert_eq!(v, 7);
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_changes_key() {
+        let dir = tmp_dir("cfgkey");
+        let cache_a = RunCache::persistent(&RunnerConfig::test(), dir.clone());
+        let _: u64 = cache_a.get_or_run("solo|x", || 1);
+        let mut other = RunnerConfig::test();
+        other.seed ^= 1;
+        let cache_b = RunCache::persistent(&other, dir.clone());
+        let v: u64 = cache_b.get_or_run("solo|x", || 2);
+        assert_eq!(v, 2, "different seed must not share entries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let dir = tmp_dir("corrupt");
+        let cfg = RunnerConfig::test();
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let _: u64 = cache.get_or_run("solo|y", || 5);
+        // Truncate every entry file.
+        for f in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(f.unwrap().path(), "{").unwrap();
+        }
+        let cache2 = RunCache::persistent(&cfg, dir.clone());
+        let v: u64 = cache2.get_or_run("solo|y", || 6);
+        assert_eq!(v, 6);
+        assert_eq!(cache2.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn complex_results_roundtrip() {
+        use waypart_core::policy::PartitionPolicy;
+        use waypart_core::runner::Runner;
+        use waypart_workloads::registry;
+
+        let dir = tmp_dir("roundtrip");
+        let cfg = RunnerConfig::test();
+        let runner = Runner::new(cfg.clone());
+        let fg = registry::by_name("swaptions").unwrap();
+        let bg = registry::by_name("dedup").unwrap();
+        let fresh = {
+            let cache = RunCache::persistent(&cfg, dir.clone());
+            cache.get_or_run("pair|swaptions+dedup|shared", || {
+                runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Shared)
+            })
+        };
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let reloaded: waypart_core::runner::PairResult = cache
+            .get_or_run("pair|swaptions+dedup|shared", || {
+                panic!("second instance must hit the disk")
+            });
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert_eq!(fresh.fg_cycles, reloaded.fg_cycles);
+        assert_eq!(fresh.fg_counters, reloaded.fg_counters);
+        assert_eq!(fresh.bg_instructions, reloaded.bg_instructions);
+        assert!((fresh.bg_rate - reloaded.bg_rate).abs() == 0.0, "f64 must roundtrip exactly");
+        assert_eq!(fresh.fg_ways_trace, reloaded.fg_ways_trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

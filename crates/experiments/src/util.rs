@@ -1,8 +1,10 @@
 //! Small utilities: deterministic parallel mapping over independent runs.
 
-/// Maps `f` over `items` using up to `available_parallelism` OS threads,
-/// preserving input order. Each simulation run owns its machine, so runs
-/// are embarrassingly parallel.
+use waypart_core::sweep::run_sweep;
+
+/// Maps `f` over `items` in parallel, preserving input order. Thin
+/// wrapper over [`waypart_core::sweep::run_sweep`] with no progress
+/// output — the historical interface most figures use.
 ///
 /// # Panics
 /// Propagates panics from `f`.
@@ -12,28 +14,18 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let threads = threads.min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_cell = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                results_cell.lock().expect("no poisoned workers")[i] = Some(r);
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    run_sweep("", items, f)
+}
+
+/// [`parallel_map`] with a progress label: the long sweeps (Figs 8/9)
+/// report `[label] done/total` lines on stderr as chunks finish.
+pub fn parallel_map_labeled<T, R, F>(label: &str, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_sweep(label, items, f)
 }
 
 #[cfg(test)]

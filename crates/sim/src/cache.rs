@@ -9,6 +9,18 @@
 //!   is the LLC partitioning mechanism (hits are never masked);
 //! * per-line owner tracking, used for occupancy statistics and inclusive
 //!   back-invalidation bookkeeping.
+//!
+//! # Hot-path layout
+//!
+//! Line metadata is packed into one 16-byte [`LineState`] record per line,
+//! laid out set-contiguously, so a probe touches one cache line of
+//! simulator memory per 4 ways instead of striding across six parallel
+//! arrays. Each set additionally keeps a valid-way bitmask in its
+//! [`SetMeta`], which lets probes iterate only the valid ways
+//! (`trailing_zeros`) and fills find the lowest invalid allowed way with
+//! one mask operation. The `*_in` entry points take a precomputed set
+//! index so the hierarchy can compute each level's set (a multiply or a
+//! 64-bit hash) once per access instead of once per probe *and* per fill.
 
 use crate::addr::{IndexHash, LineAddr};
 use crate::plru::PlruTree;
@@ -34,6 +46,11 @@ pub enum ReplPolicy {
 const RRPV_MAX: u8 = 3;
 /// SRRIP-HP inserts new lines as "long re-reference interval".
 const RRPV_INSERT: u8 = 2;
+
+/// `LineState.flags` bit: the line holds valid data.
+const FLAG_VALID: u8 = 1;
+/// `LineState.flags` bit: the line is dirty (modified vs DRAM).
+const FLAG_DIRTY: u8 = 2;
 
 /// Geometry and policy of one cache array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,10 +92,35 @@ pub struct Eviction {
     pub owner: u8,
 }
 
-/// One set's metadata, kept in struct-of-arrays form inside the cache.
-#[derive(Debug, Clone)]
-struct SetState {
+/// One line's complete metadata, packed to 16 bytes so a whole 4-way set
+/// spans a single 64-byte cache line of the *simulating* machine.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    /// True-LRU age (only maintained under [`ReplPolicy::TrueLru`]).
+    age: u32,
+    /// Core that filled the line (for occupancy stats and back-inval).
+    owner: u8,
+    /// Re-reference prediction value (only under [`ReplPolicy::Srrip`]).
+    rrpv: u8,
+    /// [`FLAG_VALID`] | [`FLAG_DIRTY`].
+    flags: u8,
+}
+
+impl LineState {
+    #[inline]
+    fn empty() -> Self {
+        LineState { tag: 0, age: 0, owner: 0, rrpv: RRPV_INSERT, flags: 0 }
+    }
+}
+
+/// One set's shared metadata.
+#[derive(Debug, Clone, Copy)]
+struct SetMeta {
     plru: PlruTree,
+    /// Bitmask of valid ways — probes iterate only these, and fills find
+    /// the lowest invalid allowed way with `(allowed & !valid)`.
+    valid: u16,
     /// Monotonic per-set counter for true-LRU ages.
     clock: u32,
 }
@@ -92,17 +134,11 @@ pub struct SetAssocCache {
     geom: CacheGeometry,
     num_sets: usize,
     leaves: usize,
-    /// Tags, `num_sets * ways`, row-major by set.
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    /// Core that filled each line (for occupancy stats and back-inval).
-    owner: Vec<u8>,
-    /// True-LRU ages (only maintained under [`ReplPolicy::TrueLru`]).
-    age: Vec<u32>,
-    /// Re-reference prediction values (only under [`ReplPolicy::Srrip`]).
-    rrpv: Vec<u8>,
-    sets: Vec<SetState>,
+    /// Valid-way bits for this associativity (`ways` low bits set).
+    ways_bits: u32,
+    /// Per-line records, `num_sets * ways`, row-major by set.
+    lines: Vec<LineState>,
+    meta: Vec<SetMeta>,
 }
 
 impl SetAssocCache {
@@ -114,18 +150,13 @@ impl SetAssocCache {
     pub fn new(geom: CacheGeometry) -> Self {
         assert!(geom.ways >= 1 && geom.ways <= 16, "ways must be 1..=16");
         let num_sets = geom.num_sets();
-        let n = num_sets * geom.ways;
         SetAssocCache {
             geom,
             num_sets,
             leaves: geom.ways.next_power_of_two(),
-            tags: vec![0; n],
-            valid: vec![false; n],
-            dirty: vec![false; n],
-            owner: vec![0; n],
-            age: vec![0; n],
-            rrpv: vec![RRPV_INSERT; n],
-            sets: vec![SetState { plru: PlruTree::new(), clock: 0 }; num_sets],
+            ways_bits: (1u32 << geom.ways) - 1,
+            lines: vec![LineState::empty(); num_sets * geom.ways],
+            meta: vec![SetMeta { plru: PlruTree::new(), valid: 0, clock: 0 }; num_sets],
         }
     }
 
@@ -139,14 +170,11 @@ impl SetAssocCache {
         self.num_sets
     }
 
+    /// The set `line` maps to. Callers walking probe-then-fill should
+    /// compute this once and use the `*_in` methods.
     #[inline]
-    fn set_of(&self, line: LineAddr) -> usize {
+    pub fn set_index(&self, line: LineAddr) -> usize {
         self.geom.index.index(line, self.num_sets)
-    }
-
-    #[inline]
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.geom.ways + way
     }
 
     /// Looks up `line`; on a hit, updates recency state and (optionally)
@@ -156,14 +184,33 @@ impl SetAssocCache {
     /// allows any core to hit on data in any way (§2.1).
     #[inline]
     pub fn probe(&mut self, line: LineAddr, write: bool) -> Option<usize> {
-        let set = self.set_of(line);
-        for way in 0..self.geom.ways {
-            let s = self.slot(set, way);
-            if self.valid[s] && self.tags[s] == line.0 {
-                self.touch(set, way);
+        self.probe_in(self.set_index(line), line, write)
+    }
+
+    /// [`Self::probe`] with the set index already computed.
+    ///
+    /// The tag-compare loop uses unchecked indexing: every bit of
+    /// `meta[set].valid` is below `ways` by construction (bits are only
+    /// set in `fill_in`, whose way always comes from `allowed &
+    /// ways_bits`), so `base + way` is always in bounds. The bounds check
+    /// the compiler could not elide showed up in profiles of the demand
+    /// path.
+    #[inline]
+    pub fn probe_in(&mut self, set: usize, line: LineAddr, write: bool) -> Option<usize> {
+        let base = set * self.geom.ways;
+        let mut rem = u32::from(self.meta[set].valid);
+        while rem != 0 {
+            let way = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            debug_assert!(way < self.geom.ways && base + way < self.lines.len());
+            // SAFETY: `way` is a set bit of the valid mask, hence < ways;
+            // `set` was bounds-checked by the `meta[set]` access above.
+            let slot = unsafe { self.lines.get_unchecked_mut(base + way) };
+            if slot.tag == line.0 {
                 if write {
-                    self.dirty[s] = true;
+                    slot.flags |= FLAG_DIRTY;
                 }
+                self.touch(set, way);
                 return Some(way);
             }
         }
@@ -171,75 +218,100 @@ impl SetAssocCache {
     }
 
     /// Looks up `line` without disturbing replacement state or dirty bits.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        (0..self.geom.ways).any(|way| {
-            let s = self.slot(set, way);
-            self.valid[s] && self.tags[s] == line.0
-        })
+        self.contains_in(self.set_index(line), line)
+    }
+
+    /// [`Self::contains`] with the set index already computed.
+    #[inline]
+    pub fn contains_in(&self, set: usize, line: LineAddr) -> bool {
+        let base = set * self.geom.ways;
+        let mut rem = u32::from(self.meta[set].valid);
+        while rem != 0 {
+            let way = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            debug_assert!(base + way < self.lines.len());
+            // SAFETY: valid-mask bits are < ways (see `probe_in`).
+            if unsafe { self.lines.get_unchecked(base + way) }.tag == line.0 {
+                return true;
+            }
+        }
+        false
     }
 
     #[inline]
     fn touch(&mut self, set: usize, way: usize) {
         match self.geom.replacement {
-            ReplPolicy::PseudoLru => self.sets[set].plru.touch(way, self.leaves),
+            ReplPolicy::PseudoLru => self.meta[set].plru.touch(way, self.leaves),
             ReplPolicy::TrueLru => {
-                self.sets[set].clock = self.sets[set].clock.wrapping_add(1);
-                let clock = self.sets[set].clock;
-                let s = self.slot(set, way);
-                self.age[s] = clock;
+                let clock = self.meta[set].clock.wrapping_add(1);
+                self.meta[set].clock = clock;
+                self.lines[set * self.geom.ways + way].age = clock;
             }
             ReplPolicy::Srrip => {
                 // A re-reference promotes the line to "near-immediate".
-                let s = self.slot(set, way);
-                self.rrpv[s] = 0;
+                self.lines[set * self.geom.ways + way].rrpv = 0;
             }
         }
     }
 
     /// Fills `line` into the set, replacing only within `mask`.
     ///
-    /// Preference order: an invalid allowed way, then the policy's victim
-    /// among allowed valid ways. Returns the eviction, if a valid line was
-    /// displaced.
+    /// Preference order: the lowest invalid allowed way, then the policy's
+    /// victim among allowed valid ways. Returns the eviction, if a valid
+    /// line was displaced.
     ///
     /// # Panics
     /// Panics in debug builds if `mask` grants no way within this cache's
     /// associativity.
     pub fn fill(&mut self, line: LineAddr, mask: WayMask, dirty: bool, owner: u8) -> Option<Eviction> {
-        let set = self.set_of(line);
-        let ways_bits = if self.geom.ways == 32 { u32::MAX } else { (1u32 << self.geom.ways) - 1 };
-        let allowed = mask.bits() & ways_bits;
+        self.fill_in(self.set_index(line), line, mask, dirty, owner)
+    }
+
+    /// [`Self::fill`] with the set index already computed.
+    pub fn fill_in(
+        &mut self,
+        set: usize,
+        line: LineAddr,
+        mask: WayMask,
+        dirty: bool,
+        owner: u8,
+    ) -> Option<Eviction> {
+        let allowed = mask.bits() & self.ways_bits;
         debug_assert!(allowed != 0, "fill mask grants no way in a {}-way cache", self.geom.ways);
 
-        // Prefer an invalid allowed way.
-        let mut chosen = None;
-        for way in WayMask::from_bits(allowed).iter() {
-            let s = self.slot(set, way);
-            if !self.valid[s] {
-                chosen = Some(way);
-                break;
-            }
-        }
-        let way = match chosen {
-            Some(w) => w,
-            None => self.select_victim(set, allowed),
+        let valid = u32::from(self.meta[set].valid);
+        let invalid_allowed = allowed & !valid;
+        let way = if invalid_allowed != 0 {
+            // Lowest invalid allowed way, matching the pre-packed layout's
+            // first-invalid scan order.
+            invalid_allowed.trailing_zeros() as usize
+        } else {
+            self.select_victim(set, allowed)
         };
 
-        let s = self.slot(set, way);
-        let evicted = if self.valid[s] {
-            Some(Eviction { line: LineAddr(self.tags[s]), dirty: self.dirty[s], owner: self.owner[s] })
+        let s = set * self.geom.ways + way;
+        let old = self.lines[s];
+        let evicted = if old.flags & FLAG_VALID != 0 {
+            Some(Eviction {
+                line: LineAddr(old.tag),
+                dirty: old.flags & FLAG_DIRTY != 0,
+                owner: old.owner,
+            })
         } else {
             None
         };
-        self.tags[s] = line.0;
-        self.valid[s] = true;
-        self.dirty[s] = dirty;
-        self.owner[s] = owner;
-        if self.geom.replacement == ReplPolicy::Srrip {
+        self.lines[s] = LineState {
+            tag: line.0,
+            age: old.age,
+            owner,
             // SRRIP inserts at a long predicted interval instead of MRU.
-            self.rrpv[s] = RRPV_INSERT;
-        } else {
+            rrpv: RRPV_INSERT,
+            flags: FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 },
+        };
+        self.meta[set].valid |= 1 << way;
+        if self.geom.replacement != ReplPolicy::Srrip {
             self.touch(set, way);
         }
         evicted
@@ -247,8 +319,9 @@ impl SetAssocCache {
 
     #[inline]
     fn select_victim(&mut self, set: usize, allowed: u32) -> usize {
+        let base = set * self.geom.ways;
         match self.geom.replacement {
-            ReplPolicy::PseudoLru => self.sets[set]
+            ReplPolicy::PseudoLru => self.meta[set]
                 .plru
                 .victim(allowed, self.leaves)
                 .expect("non-empty mask"),
@@ -256,33 +329,37 @@ impl SetAssocCache {
                 // Find a distant line among allowed ways; age the allowed
                 // ways until one appears (bounded by RRPV_MAX rounds).
                 loop {
-                    for way in 0..self.geom.ways {
-                        if (allowed >> way) & 1 == 1 && self.rrpv[self.slot(set, way)] >= RRPV_MAX {
+                    let mut rem = allowed;
+                    while rem != 0 {
+                        let way = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        if self.lines[base + way].rrpv >= RRPV_MAX {
                             return way;
                         }
                     }
-                    for way in 0..self.geom.ways {
-                        if (allowed >> way) & 1 == 1 {
-                            let s = self.slot(set, way);
-                            self.rrpv[s] = (self.rrpv[s] + 1).min(RRPV_MAX);
-                        }
+                    let mut rem = allowed;
+                    while rem != 0 {
+                        let way = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        let r = &mut self.lines[base + way].rrpv;
+                        *r = (*r + 1).min(RRPV_MAX);
                     }
                 }
             }
             ReplPolicy::TrueLru => {
+                let clock = self.meta[set].clock;
                 let mut best_way = allowed.trailing_zeros() as usize;
                 let mut best_age = u32::MAX;
-                for way in 0..self.geom.ways {
-                    if (allowed >> way) & 1 == 1 {
-                        let s = self.slot(set, way);
-                        // Older (smaller modulo clock) age wins; use wrapping
-                        // distance from the set clock for robustness.
-                        let dist = self.sets[set].clock.wrapping_sub(self.age[s]);
-                        if best_age == u32::MAX || dist > best_age {
-                            // NOTE: dist is larger for older entries.
-                            best_age = dist;
-                            best_way = way;
-                        }
+                let mut rem = allowed;
+                while rem != 0 {
+                    let way = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    // Older (== larger wrapping distance from the set
+                    // clock) wins.
+                    let dist = clock.wrapping_sub(self.lines[base + way].age);
+                    if best_age == u32::MAX || dist > best_age {
+                        best_age = dist;
+                        best_way = way;
                     }
                 }
                 best_way
@@ -295,12 +372,23 @@ impl SetAssocCache {
     /// Used for inclusive back-invalidation (LLC eviction removes the line
     /// from inner caches) and for non-temporal stores.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
-        let set = self.set_of(line);
-        for way in 0..self.geom.ways {
-            let s = self.slot(set, way);
-            if self.valid[s] && self.tags[s] == line.0 {
-                self.valid[s] = false;
-                return Some(Eviction { line, dirty: self.dirty[s], owner: self.owner[s] });
+        let set = self.set_index(line);
+        let base = set * self.geom.ways;
+        let mut rem = u32::from(self.meta[set].valid);
+        while rem != 0 {
+            let way = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            debug_assert!(base + way < self.lines.len());
+            // SAFETY: valid-mask bits are < ways (see `probe_in`).
+            let ls = *unsafe { self.lines.get_unchecked(base + way) };
+            if ls.tag == line.0 {
+                unsafe { self.lines.get_unchecked_mut(base + way) }.flags &= !FLAG_VALID;
+                self.meta[set].valid &= !(1 << way);
+                return Some(Eviction {
+                    line,
+                    dirty: ls.flags & FLAG_DIRTY != 0,
+                    owner: ls.owner,
+                });
             }
         }
         None
@@ -310,14 +398,15 @@ impl SetAssocCache {
     ///
     /// O(capacity); intended for periodic statistics, not the hot path.
     pub fn occupancy_of(&self, core: u8) -> usize {
-        (0..self.tags.len())
-            .filter(|&s| self.valid[s] && self.owner[s] == core)
+        self.lines
+            .iter()
+            .filter(|l| l.flags & FLAG_VALID != 0 && l.owner == core)
             .count()
     }
 
-    /// Total number of valid lines.
+    /// Total valid lines.
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.meta.iter().map(|m| m.valid.count_ones() as usize).sum()
     }
 
     /// Iterates over all valid entries as `(set, way, line, owner, dirty)`.
@@ -325,30 +414,33 @@ impl SetAssocCache {
     /// O(capacity); intended for invariant checks and diagnostics.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, LineAddr, u8, bool)> + '_ {
         let ways = self.geom.ways;
-        (0..self.tags.len()).filter_map(move |s| {
-            if self.valid[s] {
-                Some((s / ways, s % ways, LineAddr(self.tags[s]), self.owner[s], self.dirty[s]))
+        self.lines.iter().enumerate().filter_map(move |(s, l)| {
+            if l.flags & FLAG_VALID != 0 {
+                Some((s / ways, s % ways, LineAddr(l.tag), l.owner, l.flags & FLAG_DIRTY != 0))
             } else {
                 None
             }
         })
     }
 
-    /// Invalidates every line; returns how many dirty lines were dropped.
+    /// Invalidates every `owner`-owned line outside `mask`; returns how
+    /// many dirty lines were dropped.
     ///
     /// Used by the "flush on reallocation" ablation (the real mechanism
     /// never flushes).
     pub fn flush_owned_outside(&mut self, owner: u8, mask: WayMask) -> usize {
         let mut dropped_dirty = 0;
         for set in 0..self.num_sets {
+            let base = set * self.geom.ways;
             for way in 0..self.geom.ways {
                 if mask.allows(way) {
                     continue;
                 }
-                let s = self.slot(set, way);
-                if self.valid[s] && self.owner[s] == owner {
-                    self.valid[s] = false;
-                    if self.dirty[s] {
+                let l = self.lines[base + way];
+                if l.flags & FLAG_VALID != 0 && l.owner == owner {
+                    self.lines[base + way].flags &= !FLAG_VALID;
+                    self.meta[set].valid &= !(1 << way);
+                    if l.flags & FLAG_DIRTY != 0 {
                         dropped_dirty += 1;
                     }
                 }
@@ -370,6 +462,13 @@ mod tests {
             index: IndexHash::Modulo,
             replacement: ReplPolicy::PseudoLru,
         })
+    }
+
+    #[test]
+    fn line_state_is_16_bytes() {
+        // The packed layout is the point: a 4-way set must span exactly one
+        // 64-byte host cache line.
+        assert_eq!(std::mem::size_of::<LineState>(), 16);
     }
 
     #[test]
@@ -451,6 +550,29 @@ mod tests {
         assert_eq!(c.occupancy(), 8);
         assert_eq!(c.occupancy_of(0), 4);
         assert_eq!(c.occupancy_of(1), 4);
+    }
+
+    #[test]
+    fn set_folded_entry_points_match_unfolded() {
+        let mut a = small_cache(4);
+        let mut b = small_cache(4);
+        for i in 0..200u64 {
+            let line = LineAddr::in_space(0, i * 3 % 64);
+            let mask = WayMask::from_bits(0b0011 << ((i % 2) * 2));
+            let write = i % 5 == 0;
+            let pa = a.probe(line, write);
+            let set = b.set_index(line);
+            let pb = b.probe_in(set, line, write);
+            assert_eq!(pa, pb, "probe diverged at step {i}");
+            if pa.is_none() {
+                assert_eq!(
+                    a.fill(line, mask, write, (i % 3) as u8),
+                    b.fill_in(set, line, mask, write, (i % 3) as u8),
+                    "fill diverged at step {i}"
+                );
+            }
+        }
+        assert_eq!(a.occupancy(), b.occupancy());
     }
 
     #[test]

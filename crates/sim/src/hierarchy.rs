@@ -63,6 +63,14 @@ pub struct Hierarchy {
     cores: usize,
     /// Scratch buffer for prefetch requests (avoids per-access allocation).
     pf_buf: Vec<PrefetchRequest>,
+    /// Second scratch buffer: `access` swaps `pf_buf` here before issuing,
+    /// so requests can be drained while `&mut self` methods run, without
+    /// the per-access `mem::take`/restore churn on the field.
+    pf_scratch: Vec<PrefetchRequest>,
+    /// Full way masks for the private levels, precomputed at construction
+    /// (L1/L2 fills are never way-restricted).
+    l1_full: WayMask,
+    l2_full: WayMask,
     /// Optional per-core utility monitors (UMON; disabled by default — the
     /// paper's platform has no such hardware, the UCP baseline needs it).
     umon: Option<Vec<UtilityMonitor>>,
@@ -90,6 +98,9 @@ impl Hierarchy {
             latency: cfg.latency,
             cores: cfg.cores,
             pf_buf: Vec::with_capacity(8),
+            pf_scratch: Vec::with_capacity(8),
+            l1_full: WayMask::all(cfg.l1.ways),
+            l2_full: WayMask::all(cfg.l2.ways),
             umon: None,
             coloring: None,
             mba_percent: vec![100; cfg.cores],
@@ -107,6 +118,11 @@ impl Hierarchy {
     #[inline]
     fn throttle(&self, core: CoreId, dram_latency: u64) -> u64 {
         let pct = u64::from(self.mba_percent[core]);
+        if pct == 100 {
+            // Unthrottled is the overwhelmingly common case; skip the
+            // division on the demand-miss path.
+            return dram_latency;
+        }
         dram_latency * 100 / pct
     }
 
@@ -202,16 +218,21 @@ impl Hierarchy {
         self.pf_buf.clear();
         self.engines[core].observe_l1(access.line, access.pc, pf_mask, &mut self.pf_buf);
 
+        // Each level's set index is computed once and shared between the
+        // probe and the (possible) fill — the index hash is on the hottest
+        // path in the whole simulator.
         let level;
         let mut latency;
-        if self.l1[core].probe(access.line, access.write).is_some() {
+        let l1_set = self.l1[core].set_index(access.line);
+        if self.l1[core].probe_in(l1_set, access.line, access.write).is_some() {
             level = HitLevel::L1;
             latency = self.latency.l1_hit;
         } else {
             // The MLC units observe L2 accesses (== L1 misses).
             self.engines[core].observe_l2(access.line, pf_mask, &mut self.pf_buf);
 
-            if self.l2[core].probe(access.line, false).is_some() {
+            let l2_set = self.l2[core].set_index(access.line);
+            if self.l2[core].probe_in(l2_set, access.line, false).is_some() {
                 level = HitLevel::L2;
                 latency = self.latency.l2_hit;
             } else {
@@ -221,35 +242,39 @@ impl Hierarchy {
                 }
                 latency = ring.access(self.latency.llc_hit);
                 let llc_line = self.to_llc(access.line);
-                if self.llc.probe(llc_line, false).is_some() {
+                let llc_set = self.llc.set_index(llc_line);
+                if self.llc.probe_in(llc_set, llc_line, false).is_some() {
                     level = HitLevel::Llc;
                 } else {
                     level = HitLevel::Dram;
                     latency += self.throttle(core, dram.access(self.latency.dram));
-                    writebacks += self.fill_llc(core, llc_line, mask, dram);
+                    writebacks += self.fill_llc(core, llc_set, llc_line, mask, dram);
                 }
-                writebacks += self.fill_l2(core, access.line, false, dram);
+                writebacks += self.fill_l2(core, l2_set, access.line, false, dram);
             }
-            writebacks += self.fill_l1(core, access.line, access.write, dram);
+            writebacks += self.fill_l1(core, l1_set, access.line, access.write, dram);
         }
 
-        // Issue the collected prefetches after the demand access.
+        // Issue the collected prefetches after the demand access. Swapping
+        // into the persistent scratch vector releases the borrow on
+        // `pf_buf` without replacing the field's allocation every access.
         let issued = self.pf_buf.len() as u32;
-        let reqs = std::mem::take(&mut self.pf_buf);
-        for req in &reqs {
-            writebacks += self.issue_prefetch(core, req, mask, ring, dram);
+        std::mem::swap(&mut self.pf_buf, &mut self.pf_scratch);
+        for i in 0..issued as usize {
+            let req = self.pf_scratch[i];
+            writebacks += self.issue_prefetch(core, &req, mask, ring, dram);
         }
-        self.pf_buf = reqs;
+        self.pf_scratch.clear();
 
         AccessOutcome { latency, level, dram_writebacks: writebacks, prefetches_issued: issued }
     }
 
-    /// Fills `line` (already in LLC/colored space) into the LLC under
-    /// `mask`; handles inclusive back-invalidation and the dirty
-    /// write-back of the victim. Returns DRAM write-backs performed.
-    fn fill_llc(&mut self, core: CoreId, line: LineAddr, mask: WayMask, dram: &mut DramModel) -> u32 {
+    /// Fills `line` (already in LLC/colored space, mapping to `set`) into
+    /// the LLC under `mask`; handles inclusive back-invalidation and the
+    /// dirty write-back of the victim. Returns DRAM write-backs performed.
+    fn fill_llc(&mut self, core: CoreId, set: usize, line: LineAddr, mask: WayMask, dram: &mut DramModel) -> u32 {
         let mut writebacks = 0;
-        if let Some(ev) = self.llc.fill(line, mask, false, core as u8) {
+        if let Some(ev) = self.llc.fill_in(set, line, mask, false, core as u8) {
             let mut victim_dirty = ev.dirty;
             // Inclusion: the victim vanishes from every inner cache (which
             // hold *program-space* lines — translate back from LLC space).
@@ -271,12 +296,11 @@ impl Hierarchy {
         writebacks
     }
 
-    /// Fills into `core`'s L2, cascading the dirty victim to the LLC (or
-    /// DRAM if the LLC no longer holds it).
-    fn fill_l2(&mut self, core: CoreId, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
+    /// Fills into `core`'s L2 (at precomputed `set`), cascading the dirty
+    /// victim to the LLC (or DRAM if the LLC no longer holds it).
+    fn fill_l2(&mut self, core: CoreId, set: usize, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
         let mut writebacks = 0;
-        let full = WayMask::all(self.l2[core].geometry().ways);
-        if let Some(ev) = self.l2[core].fill(line, full, dirty, core as u8) {
+        if let Some(ev) = self.l2[core].fill_in(set, line, self.l2_full, dirty, core as u8) {
             if ev.dirty {
                 let llc_line = self.to_llc(ev.line);
                 if self.llc.probe(llc_line, true).is_none() {
@@ -290,14 +314,15 @@ impl Hierarchy {
         writebacks
     }
 
-    /// Fills into `core`'s L1, cascading the dirty victim to L2.
-    fn fill_l1(&mut self, core: CoreId, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
+    /// Fills into `core`'s L1 (at precomputed `set`), cascading the dirty
+    /// victim to L2.
+    fn fill_l1(&mut self, core: CoreId, set: usize, line: LineAddr, dirty: bool, dram: &mut DramModel) -> u32 {
         let mut writebacks = 0;
-        let full = WayMask::all(self.l1[core].geometry().ways);
-        if let Some(ev) = self.l1[core].fill(line, full, dirty, core as u8) {
+        if let Some(ev) = self.l1[core].fill_in(set, line, self.l1_full, dirty, core as u8) {
             if ev.dirty {
-                if self.l2[core].probe(ev.line, true).is_none() {
-                    writebacks += self.fill_l2(core, ev.line, true, dram);
+                let l2_set = self.l2[core].set_index(ev.line);
+                if self.l2[core].probe_in(l2_set, ev.line, true).is_none() {
+                    writebacks += self.fill_l2(core, l2_set, ev.line, true, dram);
                 }
             }
         }
@@ -333,29 +358,32 @@ impl Hierarchy {
         }
         let mut writebacks = 0;
         let line = req.line;
-        let in_l2 = self.l2[core].contains(line);
+        let l2_set = self.l2[core].set_index(line);
+        let in_l2 = self.l2[core].contains_in(l2_set, line);
         let llc_line = self.to_llc(line);
-        let in_llc = in_l2 || self.llc.contains(llc_line);
+        let llc_set = self.llc.set_index(llc_line);
+        let in_llc = in_l2 || self.llc.contains_in(llc_set, llc_line);
         if !in_llc {
             if dram.utilization() > PREFETCH_DROP_UTILIZATION {
                 return 0;
             }
             ring.access(0);
             dram.consume();
-            writebacks += self.fill_llc(core, llc_line, mask, dram);
+            writebacks += self.fill_llc(core, llc_set, llc_line, mask, dram);
         }
         match req.level {
             PrefetchLevel::L1 => {
                 if !in_l2 {
-                    writebacks += self.fill_l2(core, line, false, dram);
+                    writebacks += self.fill_l2(core, l2_set, line, false, dram);
                 }
-                if !self.l1[core].contains(line) {
-                    writebacks += self.fill_l1(core, line, false, dram);
+                let l1_set = self.l1[core].set_index(line);
+                if !self.l1[core].contains_in(l1_set, line) {
+                    writebacks += self.fill_l1(core, l1_set, line, false, dram);
                 }
             }
             PrefetchLevel::L2 => {
                 if !in_l2 {
-                    writebacks += self.fill_l2(core, line, false, dram);
+                    writebacks += self.fill_l2(core, l2_set, line, false, dram);
                 }
             }
         }

@@ -238,25 +238,32 @@ impl Machine {
         let dram_before = self.dram.total_lines;
 
         // Sibling activity decides SMT dilation for the whole quantum.
-        let active: Vec<bool> =
-            self.threads.iter().map(|s| s.as_ref().map(|t| !t.done).unwrap_or(false)).collect();
+        // Kept as bitmasks: run_quantum is called once per quantum for the
+        // entire run, and the per-call Vec allocations used to show up in
+        // profiles of short-quantum configurations.
+        debug_assert!(self.threads.len() <= 128, "thread bitmask limited to 128 hw threads");
+        let mut active = 0u128;
+        for (ht, s) in self.threads.iter().enumerate() {
+            if s.as_ref().map(|t| !t.done).unwrap_or(false) {
+                active |= 1 << ht;
+            }
+        }
 
         let mut act = QuantumActivity { cycles: quantum, any_active: false, ..Default::default() };
-        let mut core_active = vec![false; self.cfg.cores];
+        let mut core_active = 0u128;
 
         for ht in 0..self.threads.len() {
-            if !active[ht] {
+            if active >> ht & 1 == 0 {
                 continue;
             }
             act.any_active = true;
             act.active_threads += 1;
             let core = ht / tpc;
-            core_active[core] = true;
+            core_active |= 1 << core;
 
-            let sibling_active = (0..tpc).any(|t| {
-                let other = core * tpc + t;
-                other != ht && active[other]
-            });
+            // Any *other* active hyperthread on the same core?
+            let core_mask = (((1u128 << tpc) - 1) << (core * tpc)) & !(1u128 << ht);
+            let sibling_active = active & core_mask != 0;
             let dilation =
                 if sibling_active { self.cfg.smt.compute_dilation } else { 1.0 };
 
@@ -276,7 +283,7 @@ impl Machine {
             }
         }
 
-        act.active_cores = core_active.iter().filter(|&&a| a).count();
+        act.active_cores = core_active.count_ones() as usize;
         act.dram_lines = self.dram.total_lines - dram_before;
 
         self.ring.end_quantum(quantum);

@@ -27,25 +27,29 @@ impl PlruTree {
     /// Marks `way` as most recently used: flips path bits to point away
     /// from it. `leaves` must be the power-of-two leaf count used for
     /// victim selection.
+    ///
+    /// The walk is branchless: the descend direction is computed as an
+    /// integer and folded into the node index and range arithmetic, so the
+    /// per-level work is a handful of ALU ops with no unpredictable
+    /// branches (replacement-path traffic has essentially random ways).
     #[inline]
     pub fn touch(&mut self, way: usize, leaves: usize) {
         debug_assert!(leaves.is_power_of_two() && leaves <= 16);
         debug_assert!(way < leaves);
-        let (mut lo, mut hi) = (0usize, leaves);
+        let mut bits = self.bits;
         let mut node = 1usize;
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            if way < mid {
-                // `way` is on the left: the LRU side becomes the right.
-                self.bits |= 1 << node;
-                node = 2 * node;
-                hi = mid;
-            } else {
-                self.bits &= !(1 << node);
-                node = 2 * node + 1;
-                lo = mid;
-            }
+        let mut lo = 0usize;
+        let mut half = leaves >> 1;
+        while half >= 1 {
+            // Going left (way in the low half) points the LRU side right,
+            // i.e. sets the bit; going right clears it.
+            let right = usize::from(way >= lo + half);
+            bits = (bits & !(1 << node)) | ((right as u16 ^ 1) << node);
+            node = 2 * node + right;
+            lo += half & right.wrapping_neg();
+            half >>= 1;
         }
+        self.bits = bits;
     }
 
     /// Selects a victim among ways permitted by `allowed` (a bitmask over
@@ -53,45 +57,46 @@ impl PlruTree {
     /// preferred subtree contains no permitted way.
     ///
     /// Returns `None` when `allowed` is empty.
+    ///
+    /// Like [`PlruTree::touch`] the walk is branchless; per level the
+    /// direction is `(prefer_right & has_right) | (!prefer_right &
+    /// !has_left)`, which always descends into a subtree that still
+    /// contains an allowed way, so the final leaf is allowed whenever
+    /// `allowed` is confined to `[0, leaves)`.
     #[inline]
     pub fn victim(&self, allowed: u32, leaves: usize) -> Option<usize> {
         debug_assert!(leaves.is_power_of_two() && leaves <= 16);
         if allowed == 0 {
             return None;
         }
-        let (mut lo, mut hi) = (0usize, leaves);
+        let bits = self.bits as usize;
         let mut node = 1usize;
-        while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
-            let left_mask = range_mask(lo, mid);
-            let right_mask = range_mask(mid, hi);
-            let prefer_right = (self.bits >> node) & 1 == 1;
-            let go_right = if prefer_right {
-                allowed & right_mask != 0
-            } else {
-                allowed & left_mask == 0
-            };
-            if go_right {
-                node = 2 * node + 1;
-                lo = mid;
-            } else {
-                node = 2 * node;
-                hi = mid;
-            }
+        let mut lo = 0usize;
+        let mut half = leaves >> 1;
+        while half >= 1 {
+            let left_mask = ((1u32 << half) - 1) << lo;
+            let has_left = usize::from(allowed & left_mask != 0);
+            let has_right = usize::from(allowed & (left_mask << half) != 0);
+            let prefer_right = (bits >> node) & 1;
+            let go_right = (prefer_right & has_right) | ((prefer_right ^ 1) & (has_left ^ 1));
+            node = 2 * node + go_right;
+            lo += half & go_right.wrapping_neg();
+            half >>= 1;
         }
         if (allowed >> lo) & 1 == 1 {
             Some(lo)
         } else {
-            // The chosen leaf is disallowed only if the whole path had no
-            // allowed option, which the checks above exclude; keep a
-            // defensive fallback to the lowest allowed way.
+            // Reachable only when every allowed bit lies at or above
+            // `leaves`; keep the historical fallback to the lowest allowed
+            // way for that degenerate case.
             Some(allowed.trailing_zeros() as usize)
         }
     }
 }
 
-/// Bitmask with bits `[lo, hi)` set.
-#[inline]
+/// Bitmask with bits `[lo, hi)` set. Used only by the test-side
+/// reference victim walk the branchless version is pinned against.
+#[cfg(test)]
 fn range_mask(lo: usize, hi: usize) -> u32 {
     debug_assert!(lo < hi && hi <= 32);
     let hi_bits = if hi == 32 { u32::MAX } else { (1u32 << hi) - 1 };
@@ -158,6 +163,55 @@ mod tests {
         }
         for w in 0..8 {
             assert_eq!(t.victim(1 << w, 8), Some(w));
+        }
+    }
+
+    /// Reference (branchy) victim walk, kept verbatim from the original
+    /// implementation to pin the branchless rewrite to it.
+    fn ref_victim(bits: u16, allowed: u32, leaves: usize) -> Option<usize> {
+        if allowed == 0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, leaves);
+        let mut node = 1usize;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let left_mask = range_mask(lo, mid);
+            let right_mask = range_mask(mid, hi);
+            let prefer_right = (bits >> node) & 1 == 1;
+            let go_right = if prefer_right {
+                allowed & right_mask != 0
+            } else {
+                allowed & left_mask == 0
+            };
+            if go_right {
+                node = 2 * node + 1;
+                lo = mid;
+            } else {
+                node = 2 * node;
+                hi = mid;
+            }
+        }
+        if (allowed >> lo) & 1 == 1 {
+            Some(lo)
+        } else {
+            Some(allowed.trailing_zeros() as usize)
+        }
+    }
+
+    #[test]
+    fn branchless_victim_matches_reference_exhaustively() {
+        // 8 leaves → internal nodes 1..=7 → 2^7 tree states; sweep every
+        // state against every non-empty mask.
+        for state in 0u16..128 {
+            let t = PlruTree { bits: state << 1 };
+            for mask in 1u32..256 {
+                assert_eq!(
+                    t.victim(mask, 8),
+                    ref_victim(state << 1, mask, 8),
+                    "state {state:#b} mask {mask:#b}"
+                );
+            }
         }
     }
 

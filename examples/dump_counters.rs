@@ -1,0 +1,55 @@
+//! Dumps a diffable counter fingerprint for every registered application
+//! under three configurations (solo/12-way, solo/4-way, shared pair vs a
+//! fixed background). Redirect to a file before and after an engine
+//! change and `diff` the two dumps: any line that moves means simulator
+//! semantics changed, not just speed.
+//!
+//! Usage: `cargo run --release --example dump_counters [max_quanta]`
+//! (default 40_000 quanta — a few seconds for the full registry).
+
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::counters::HwCounters;
+use waypart::workloads::registry;
+
+fn fp(c: &HwCounters) -> String {
+    format!(
+        "i={} c={} l1a={} l1m={} l2m={} llcm={} wb={} pf={} pfh={} nt={}",
+        c.instructions,
+        c.cycles,
+        c.l1_accesses,
+        c.l1_misses,
+        c.l2_misses,
+        c.llc_misses,
+        c.dram_writebacks,
+        c.prefetches_issued,
+        c.prefetch_hits,
+        c.non_temporal,
+    )
+}
+
+fn main() {
+    let max_quanta: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("max_quanta must be an integer"))
+        .unwrap_or(40_000);
+    let mut cfg = RunnerConfig::test();
+    cfg.max_quanta = max_quanta;
+    let runner = Runner::new(cfg);
+
+    let bg = registry::by_name("462.libquantum").expect("registered");
+    for app in registry::all() {
+        let solo = runner.run_solo(&app, 4, 12);
+        println!("{} solo12 cycles={} {}", app.name, solo.cycles, fp(&solo.counters));
+        let narrow = runner.run_solo(&app, 4, 4);
+        println!("{} solo4  cycles={} {}", app.name, narrow.cycles, fp(&narrow.counters));
+        let pair = runner.run_pair_endless_bg(&app, &bg, PartitionPolicy::Shared);
+        println!(
+            "{} shared fg_cycles={} bg_i={} {}",
+            app.name,
+            pair.fg_cycles,
+            pair.bg_instructions,
+            fp(&pair.fg_counters)
+        );
+    }
+}

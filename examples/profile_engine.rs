@@ -1,0 +1,59 @@
+//! Dense engine driver for profiling and A/B timing: runs the same pair
+//! simulation back to back with no I/O between iterations, so nearly all
+//! samples land in the hierarchy/machine hot path.
+//!
+//! Usage: `cargo run --release --example profile_engine [pairloop] [iters]`
+//!   pairloop — repeated shared+biased pair runs (default mode)
+//!   sololoop — repeated solo runs
+//!
+//! Prints total wall seconds and a checksum of cycles so the optimizer
+//! cannot elide the work and A/B runs can be cross-checked for identical
+//! semantics.
+
+use std::time::Instant;
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::workloads::registry;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "pairloop".to_string());
+    let iters: u64 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("iters must be an integer"))
+        .unwrap_or(8);
+
+    let runner = Runner::new(RunnerConfig::test());
+    let fg = registry::by_name("canneal").expect("registered");
+    let bg = registry::by_name("462.libquantum").expect("registered");
+
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    let mut accesses = 0u64;
+    for _ in 0..iters {
+        match mode.as_str() {
+            "pairloop" => {
+                let a = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Shared);
+                let b = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 });
+                checksum = checksum
+                    .wrapping_add(a.fg_cycles)
+                    .wrapping_add(b.fg_cycles)
+                    .wrapping_add(a.bg_instructions)
+                    .wrapping_add(b.fg_counters.llc_misses);
+                // Foreground L1 accesses only (the background's aren't
+                // reported) — an undercount, but stable across A/B runs.
+                accesses += a.fg_counters.l1_accesses + b.fg_counters.l1_accesses;
+            }
+            "sololoop" => {
+                let r = runner.run_solo(&fg, 4, 12);
+                checksum = checksum.wrapping_add(r.cycles).wrapping_add(r.counters.llc_misses);
+                accesses += r.counters.l1_accesses;
+            }
+            other => panic!("unknown mode `{other}` (pairloop|sololoop)"),
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let ns_per_access = if accesses > 0 { secs * 1e9 / accesses as f64 } else { 0.0 };
+    println!(
+        "mode={mode} iters={iters} secs={secs:.3} accesses={accesses} ns_per_access={ns_per_access:.2} checksum={checksum}"
+    );
+}

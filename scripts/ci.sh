@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline CI entry point: build, tests, determinism, bench smoke.
+#
+# Everything resolves from the vendored registry stubs under `vendor/`
+# (see .cargo/config.toml) — no network access is required or attempted.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick  skip the slow integration suites (figures_smoke,
+#            headline_shape); unit + determinism + goldens still run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== unit tests =="
+cargo test --release --workspace --lib -q
+
+echo "== determinism + golden fingerprints =="
+cargo test --release --test determinism --test golden_fingerprint --test invariants -q
+
+if [ "$QUICK" -eq 0 ]; then
+  echo "== figure smoke + headline shape =="
+  cargo test --release --test figures_smoke --test headline_shape -q
+fi
+
+echo "== bench smoke (engine throughput, 2 iterations) =="
+cargo build --release --example profile_engine
+target/release/examples/profile_engine sololoop 2
+
+echo "CI OK"

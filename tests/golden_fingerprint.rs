@@ -1,0 +1,67 @@
+//! Golden counter fingerprints: a short solo run and a short pair run at
+//! test scale must reproduce these exact counter values.
+//!
+//! Purpose: the hot-path layout of the hierarchy simulator is fair game
+//! for optimization, but *semantics are frozen* — any change that alters
+//! replacement decisions, prefetch issue order, RNG draw order, or cycle
+//! accounting shows up here as a diff. If this test fails, either revert
+//! the semantic change or (if it is a deliberate model change) update the
+//! golden values AND bump `runcache::SCHEMA_VERSION` so stale cached runs
+//! are not reused (see DESIGN.md).
+
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::counters::HwCounters;
+use waypart::workloads::registry;
+
+fn fingerprint(c: &HwCounters) -> String {
+    format!(
+        "i={} c={} l1a={} l1m={} l2m={} llca={} llcm={} wb={} pf={} pfh={} nt={}",
+        c.instructions,
+        c.cycles,
+        c.l1_accesses,
+        c.l1_misses,
+        c.l2_misses,
+        c.llc_accesses,
+        c.llc_misses,
+        c.dram_writebacks,
+        c.prefetches_issued,
+        c.prefetch_hits,
+        c.non_temporal,
+    )
+}
+
+#[test]
+fn solo_run_matches_golden_counters() {
+    let app = registry::by_name("429.mcf").expect("registered");
+    let runner = Runner::new(RunnerConfig::test());
+    let r = runner.run_solo(&app, 4, 12);
+    let got = format!("cycles={} {}", r.cycles, fingerprint(&r.counters));
+    assert_eq!(
+        got, GOLDEN_SOLO,
+        "solo golden fingerprint changed — engine semantics diverged"
+    );
+}
+
+#[test]
+fn pair_run_matches_golden_counters() {
+    let fg = registry::by_name("canneal").expect("registered");
+    let bg = registry::by_name("462.libquantum").expect("registered");
+    let runner = Runner::new(RunnerConfig::test());
+    let r = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 });
+    let got = format!(
+        "fg_cycles={} bg_i={} {}",
+        r.fg_cycles,
+        r.bg_instructions,
+        fingerprint(&r.fg_counters)
+    );
+    assert_eq!(
+        got, GOLDEN_PAIR,
+        "pair golden fingerprint changed — engine semantics diverged"
+    );
+}
+
+const GOLDEN_SOLO: &str = "cycles=8720000 i=2929688 c=8702403 l1a=976556 l1m=609818 \
+     l2m=182976 llca=182976 llcm=1151 wb=286 pf=478216 pfh=0 nt=0";
+const GOLDEN_PAIR: &str = "fg_cycles=2240000 bg_i=1021381 i=2715628 c=7262038 l1a=905330 \
+     l1m=306836 l2m=103391 llca=103391 llcm=2251 wb=940 pf=566609 pfh=0 nt=0";

@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion` (vendored stub).
+//!
+//! Mirrors the harness surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::throughput`] /
+//! `sample_size` / `bench_function` / `finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! calibrate-then-sample timer instead of criterion's full statistics.
+//!
+//! Results print one line per benchmark to stdout. Two environment
+//! variables adjust behavior:
+//!
+//! * `WAYPART_BENCH_JSON=<path>` — append one JSON object per benchmark
+//!   (`{"bench": ..., "ns_per_iter": ..., "iters": ..., "elems_per_iter": ...}`).
+//! * `WAYPART_BENCH_BUDGET_MS=<n>` — wall-clock budget per benchmark
+//!   (default 300 ms), split across samples.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units-of-work annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("WAYPART_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion { budget: Duration::from_millis(budget_ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget: self.budget,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, self.budget, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/budget settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotates per-iteration throughput for ns/element reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes samples from the
+    /// time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under this group's settings.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.budget, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle given to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, run back-to-back for the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // to time reliably (>= 1/16 of the budget, so ~8 samples fit).
+    let sample_target = budget / 16;
+    let mut iters = 1u64;
+    let mut calib = Duration::ZERO;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        calib = b.elapsed;
+        if calib >= sample_target || iters >= 1 << 30 {
+            break;
+        }
+        // Aim straight for the target with ~2x headroom.
+        let per_iter = calib.as_nanos().max(1) / u128::from(iters);
+        let want = (sample_target.as_nanos() * 2 / per_iter).max(u128::from(iters) * 2);
+        iters = want.min(1 << 30) as u64;
+    }
+
+    // Sample until the budget is spent; report the median.
+    let mut samples_ns: Vec<f64> = vec![calib.as_nanos() as f64 / iters as f64];
+    let started = Instant::now();
+    while started.elapsed() < budget && samples_ns.len() < 64 {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ns_per_iter = samples_ns[samples_ns.len() / 2];
+
+    let elems = match throughput {
+        Some(Throughput::Elements(n)) => Some(n),
+        _ => None,
+    };
+    match elems {
+        Some(n) if n > 0 => println!(
+            "bench {label}: {ns_per_iter:.1} ns/iter ({:.2} ns/elem, {} samples x {iters} iters)",
+            ns_per_iter / n as f64,
+            samples_ns.len(),
+        ),
+        _ => println!(
+            "bench {label}: {ns_per_iter:.1} ns/iter ({} samples x {iters} iters)",
+            samples_ns.len(),
+        ),
+    }
+
+    if let Ok(path) = std::env::var("WAYPART_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let elems_field = elems
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{label}\",\"ns_per_iter\":{ns_per_iter:.3},\"iters\":{iters},\"elems_per_iter\":{elems_field}}}"
+            );
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

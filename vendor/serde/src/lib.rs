@@ -1,0 +1,312 @@
+//! Offline stand-in for `serde` (vendored stub).
+//!
+//! Exposes the names this workspace uses — the [`Serialize`] and
+//! [`Deserialize`] traits plus the same-named derive macros re-exported
+//! from `serde_derive` — over a deliberately simple value model: every
+//! serializable type converts to and from [`json::Value`], and the
+//! [`json`] module renders that to standard JSON text.
+//!
+//! The trait surface is intentionally *not* the visitor-based API of real
+//! serde; nothing in this workspace relies on it. What is preserved:
+//!
+//! * `use serde::{Serialize, Deserialize};` + `#[derive(Serialize, Deserialize)]`
+//! * round-tripping: `json::from_str::<T>(&json::to_string(&v))` reproduces
+//!   `v` exactly (f64 values are rendered with shortest-roundtrip
+//!   formatting, so bit-exactness is preserved for finite floats).
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Conversion into the JSON value model.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string. The workspace
+/// only deserializes `&'static str` for small, long-lived registry-style
+/// configuration (e.g. application names), where the leak is a deliberate
+/// interning.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(v.as_str()?.to_owned().into_boxed_str()))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Map keys encodable as JSON object keys.
+pub trait MapKey: Sized {
+    /// This key as an object-key string.
+    fn to_key_string(&self) -> String;
+    /// Parses a key back from its object-key string.
+    fn from_key_string(s: &str) -> Result<Self, Error>;
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key_string(&self) -> String { self.to_string() }
+            fn from_key_string(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::msg(format!(
+                    "bad {} map key `{s}`", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn from_key_string(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+/// Maps serialize as JSON objects with entries sorted by key, so the
+/// rendered text is deterministic regardless of hash iteration order.
+impl<K: MapKey + Ord, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, item)| Ok((K::from_key_string(k)?, V::from_value(item)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.to_key_string(), v.to_value())).collect())
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, item)| Ok((K::from_key_string(k)?, V::from_value(item)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr()?;
+                let expect = [$(stringify!($idx)),+].len();
+                if arr.len() != expect {
+                    return Err(Error::msg(format!(
+                        "expected {expect}-tuple, got array of {}", arr.len())));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_arr()?;
+        if arr.len() != N {
+            return Err(Error::msg(format!("expected [T; {N}], got array of {}", arr.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}

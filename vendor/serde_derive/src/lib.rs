@@ -1,0 +1,406 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote`, which are not
+//! vendored) and emits impls of the stub's `Serialize`/`Deserialize`
+//! traits. Supported shapes — the only ones this workspace derives on:
+//!
+//! * structs with named fields → JSON object, declaration order
+//! * newtype structs → transparent (the inner value's encoding)
+//! * other tuple structs → JSON array
+//! * unit structs → `null`
+//! * enums → externally tagged like real serde: unit variants as the
+//!   variant-name string, data variants as `{"Variant": payload}` where a
+//!   one-field tuple payload is transparent, multi-field is an array, and
+//!   named fields are an object
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a
+//! compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kind = expect_ident(&mut iter, "expected `struct` or `enum`");
+    let name = expect_ident(&mut iter, "expected item name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            _ => panic!("malformed struct body for {name}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&name, g.stream()))
+            }
+            _ => panic!("malformed enum body for {name}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Input { name, shape }
+}
+
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // pub(crate) / pub(super): swallow the restriction group.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("{what}, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type: everything up to the next comma outside angle
+        // brackets. Parens/brackets arrive as opaque groups, so only `<>`
+        // depth needs tracking.
+        let mut angle_depth = 0usize;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Number of fields in a `( ... )` tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    count + usize::from(saw_tokens)
+}
+
+/// The variants of an enum body, with their payload shapes.
+fn parse_variants(enum_name: &str, body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name in {enum_name}, found {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`), then expect `,` or end.
+        match iter.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => loop {
+                match iter.next() {
+                    None => return variants,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                    Some(_) => {}
+                }
+            },
+            other => panic!("unexpected token after a variant of {enum_name}: {other:?}"),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!("::serde::json::Value::Obj(vec![{entries}])")
+        }
+        // Newtype structs encode transparently as their inner value.
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::json::Value::Arr(vec![{entries}])")
+        }
+        Shape::Unit => "::serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_variant_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{name}::{vn} => ::serde::json::Value::Str(\"{vn}\".to_string()),")
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::json::Value::Obj(vec![\
+                     (\"{vn}\".to_string(), ::serde::json::Value::Obj(vec![{entries}]))]),"
+            )
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::json::Value::Obj(vec![\
+                 (\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let entries: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::json::Value::Obj(vec![\
+                     (\"{vn}\".to_string(), ::serde::json::Value::Arr(vec![{entries}]))]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {entries} }})")
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                .collect();
+            format!(
+                "let arr = v.as_arr()?;\n\
+                 if arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::json::Error::msg(\
+                         format!(\"expected {n} fields for {name}, got {{}}\", arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({entries}))"
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Named(fields) => {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {entries} }}),"
+                    ))
+                }
+                VariantShape::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                VariantShape::Tuple(n) => {
+                    let entries: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let arr = inner.as_arr()?;\n\
+                             if arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::json::Error::msg(\
+                                     format!(\"expected {n} fields for {name}::{vn}, got {{}}\", \
+                                             arr.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({entries}))\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let err = format!(
+        "::std::result::Result::Err(::serde::json::Error::msg(\
+             format!(\"unexpected {name} variant encoding: {{}}\", v.kind())))"
+    );
+    let obj_arm = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::json::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => ::std::result::Result::Err(::serde::json::Error::msg(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n"
+        )
+    };
+    format!(
+        "match v {{\n\
+             ::serde::json::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::json::Error::msg(\
+                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+             }},\n\
+             {obj_arm}\
+             _ => {err},\n\
+         }}"
+    )
+}
