@@ -25,6 +25,16 @@
 use crate::phase::{PhaseDetector, PhaseEvent, PhaseThresholds};
 use serde::{Deserialize, Serialize};
 use waypart_sim::WayMask;
+use waypart_telemetry::{self as telemetry, Event, Stamp};
+
+/// Telemetry name for a phase verdict.
+fn phase_name(event: PhaseEvent) -> &'static str {
+    match event {
+        PhaseEvent::Stable => "stable",
+        PhaseEvent::InTransition => "in_transition",
+        PhaseEvent::PhaseStart => "phase_start",
+    }
+}
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -142,7 +152,23 @@ impl DynamicPartitioner {
 
     /// Feeds one sampling window's foreground MPKI; returns the new masks
     /// if the allocation changed.
+    ///
+    /// Equivalent to [`Self::observe_at`] at cycle 0 — callers that know
+    /// the simulated time (the runner) should prefer `observe_at` so the
+    /// emitted decision log is usefully timestamped.
     pub fn observe(&mut self, raw_mpki: f64) -> Option<Reallocation> {
+        self.observe_at(0, raw_mpki)
+    }
+
+    /// Feeds one window's foreground MPKI, stamping the decision log with
+    /// the simulated time `now`; returns the new masks if the allocation
+    /// changed.
+    ///
+    /// Every call emits a `dyn.decision` telemetry event (raw and smoothed
+    /// MPKI, phase verdict, allocation), and every allocation change
+    /// additionally emits `dyn.realloc` — together they are a
+    /// machine-readable version of the paper's Fig 12 way trace.
+    pub fn observe_at(&mut self, now: u64, raw_mpki: f64) -> Option<Reallocation> {
         let current_mpki = self.smooth(raw_mpki);
         let event = self.detector.observe(current_mpki);
         let before = self.fg_ways;
@@ -177,8 +203,24 @@ impl DynamicPartitioner {
             _ => {}
         }
         self.last_mpki = Some(current_mpki);
-        if self.fg_ways != before {
+        let changed = self.fg_ways != before;
+        telemetry::emit_with(|| {
+            Event::instant("dyn.decision", Stamp::Cycles(now))
+                .field("raw_mpki", raw_mpki)
+                .field("mpki", current_mpki)
+                .field("phase", phase_name(event))
+                .field("fg_ways", self.fg_ways)
+                .field("reclaiming", self.reclaiming)
+                .field("realloc", changed)
+        });
+        if changed {
             self.reallocations += 1;
+            telemetry::emit_with(|| {
+                Event::instant("dyn.realloc", Stamp::Cycles(now))
+                    .field("from_ways", before)
+                    .field("to_ways", self.fg_ways)
+                    .field("phase", phase_name(event))
+            });
             Some(self.masks())
         } else {
             None

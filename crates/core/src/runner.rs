@@ -17,7 +17,48 @@ use waypart_sim::counters::HwCounters;
 use waypart_sim::machine::Machine;
 use waypart_sim::msr::PrefetcherMask;
 use waypart_sim::{Cycles, WayMask};
+use waypart_telemetry::{self as telemetry, Event, Stamp};
 use waypart_workloads::{AppSpec, Scale};
+
+/// Opens a `runner.run` telemetry span for a fresh run. Claims a new sim
+/// track first: every run's cycle clock restarts at 0, so runs must not
+/// share a track or their spans would overlap in trace viewers.
+fn run_span_begin(kind: &'static str, fg: &AppSpec, bg: Option<&AppSpec>) {
+    if !telemetry::sink_attached() {
+        return;
+    }
+    telemetry::begin_sim_track();
+    telemetry::emit_with(|| {
+        let ev = Event::begin("runner.run", Stamp::Cycles(0))
+            .field("kind", kind)
+            .field("fg", fg.name);
+        match bg {
+            Some(bg) => ev.field("bg", bg.name),
+            None => ev,
+        }
+    });
+}
+
+/// Closes the current run's `runner.run` span and, on telemetry builds,
+/// emits the hierarchy's per-level tallies as a `sim.tallies` summary.
+fn run_span_end(machine: &Machine, quanta: u64, reallocations: u64) {
+    telemetry::emit_with(|| {
+        Event::end("runner.run", Stamp::Cycles(machine.now()))
+            .field("quanta", quanta)
+            .field("reallocations", reallocations)
+    });
+    #[cfg(feature = "telemetry")]
+    telemetry::emit_with(|| {
+        let tallies = machine.tallies();
+        let mut ev = Event::instant("sim.tallies", Stamp::Cycles(machine.now()));
+        for (key, value) in tallies.entries() {
+            ev = ev.field(key, value);
+        }
+        ev
+    });
+    #[cfg(not(feature = "telemetry"))]
+    let _ = machine;
+}
 
 /// Foreground address-space id.
 pub const FG_ASID: u16 = 1;
@@ -229,6 +270,7 @@ impl Runner {
             machine.set_way_mask(core, mask);
         }
         self.attach_app(&mut machine, spec, threads, 0, FG_ASID, false);
+        run_span_begin("solo", spec, None);
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -243,6 +285,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        run_span_end(&machine, quanta, 0);
         SoloResult {
             cycles: machine.finish_time(FG_ASID).unwrap_or(machine.now()),
             counters: machine.app_counters(FG_ASID),
@@ -308,6 +351,13 @@ impl Runner {
         if matches!(controller, Some(Controller::Ucp(_))) {
             machine.enable_umon();
         }
+        let kind = match &controller {
+            Some(Controller::Paper(_)) => "pair_dynamic",
+            Some(Controller::Ucp(_)) => "pair_ucp",
+            Some(Controller::Qos(_)) => "pair_qos",
+            None => "pair_static",
+        };
+        run_span_begin(kind, fg, Some(bg));
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -321,7 +371,9 @@ impl Runner {
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
                 let realloc = match controller.as_mut() {
-                    Some(Controller::Paper(ctl)) => ctl.observe(s.mpki()).map(|r| (r.fg, r.bg)),
+                    Some(Controller::Paper(ctl)) => {
+                        ctl.observe_at(machine.now(), s.mpki()).map(|r| (r.fg, r.bg))
+                    }
                     Some(Controller::Qos(ctl)) => ctl.observe(s.window.ipc()),
                     Some(Controller::Ucp(ctl)) => {
                         let fg_curve = Self::umon_curve(&machine, 0..cores / 2);
@@ -347,6 +399,8 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        let reallocations = controller.map(|c| c.reallocations()).unwrap_or(0);
+        run_span_end(&machine, quanta, reallocations);
         let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
         let bg_counters = machine.app_counters(BG_ASID);
         PairResult {
@@ -357,7 +411,7 @@ impl Runner {
             energy: meter.total(),
             fg_mpki: mpki,
             fg_ways_trace: ways_trace,
-            reallocations: controller.map(|c| c.reallocations()).unwrap_or(0),
+            reallocations,
             truncated,
         }
     }
@@ -408,6 +462,7 @@ impl Runner {
             let first_ht = half_hts + copy * tpc;
             self.attach_app(&mut machine, bg, tpc, first_ht, asid, true);
         }
+        run_span_begin("pair_multi_bg", fg, Some(bg));
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -422,6 +477,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        run_span_end(&machine, quanta, 0);
         let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
         let bg_instructions: u64 =
             (0..copies).map(|c| machine.app_counters(BG_ASID + c as u16).instructions).sum();
@@ -454,6 +510,7 @@ impl Runner {
         }
         self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
         self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, false);
+        run_span_begin("pair_both_once", fg, Some(bg));
 
         let mut meter = self.meter();
         let mut quanta = 0u64;
@@ -463,6 +520,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = machine.any_active();
+        run_span_end(&machine, quanta, 0);
         BothOnceResult {
             total_cycles: machine.now(),
             fg_cycles: machine.finish_time(FG_ASID).unwrap_or(machine.now()),
@@ -496,6 +554,7 @@ impl Runner {
         }
         self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
         self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, true);
+        run_span_begin("pair_mba", fg, Some(bg));
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -510,6 +569,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        run_span_end(&machine, quanta, 0);
         let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
         let bg_counters = machine.app_counters(BG_ASID);
         PairResult {
@@ -548,6 +608,7 @@ impl Runner {
         machine.assign_colors(BG_ASID, bg_mask);
         self.attach_app(&mut machine, fg, half_hts, 0, FG_ASID, false);
         self.attach_app(&mut machine, bg, half_hts, half_hts, BG_ASID, true);
+        run_span_begin("pair_colored", fg, Some(bg));
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -562,6 +623,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        run_span_end(&machine, quanta, 0);
         let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
         let bg_counters = machine.app_counters(BG_ASID);
         PairResult {
@@ -590,6 +652,7 @@ impl Runner {
         }
         self.attach_app(&mut machine, spec, half_hts, 0, FG_ASID, false);
         self.attach_app(&mut machine, hog, 1, half_hts, BG_ASID, true);
+        run_span_begin("pair_hog", spec, Some(hog));
 
         let mut meter = self.meter();
         let mut sampler = Sampler::new(self.cfg.sample_interval);
@@ -604,6 +667,7 @@ impl Runner {
             quanta += 1;
         }
         let truncated = !machine.app_done(FG_ASID);
+        run_span_end(&machine, quanta, 0);
         let fg_cycles = machine.finish_time(FG_ASID).unwrap_or(machine.now());
         let bg = machine.app_counters(BG_ASID);
         PairResult {

@@ -14,6 +14,36 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use waypart_telemetry::{self as telemetry, Event, Stamp};
+
+/// Reports sweep progress: the plain stderr line when no telemetry sink
+/// is installed (byte-identical to the historical output), structured
+/// `sweep.progress` counter events when one is. The events carry enough
+/// to drive a live dashboard: completion, wall-clock so far, a linear
+/// ETA, and how many workers the sweep is using.
+fn report_progress(label: &str, finished: usize, n: usize, workers: usize, started_us: u64) {
+    if telemetry::sink_attached() {
+        telemetry::emit_with(|| {
+            let now = telemetry::wall_now_us();
+            let elapsed = now.saturating_sub(started_us);
+            // Linear extrapolation from completed items.
+            let eta = if finished > 0 {
+                elapsed * (n - finished) as u64 / finished as u64
+            } else {
+                0
+            };
+            Event::counter("sweep.progress", Stamp::WallUs(now))
+                .field("label", label)
+                .field("done", finished)
+                .field("total", n)
+                .field("elapsed_us", elapsed)
+                .field("eta_us", eta)
+                .field("workers", workers)
+        });
+    } else if !label.is_empty() {
+        eprintln!("[{label}] {finished}/{n}");
+    }
+}
 
 thread_local! {
     /// Set while the current thread is a sweep worker, so nested sweeps
@@ -43,6 +73,7 @@ where
     // Chunks small enough that slow items rebalance, large enough that
     // cursor traffic is negligible.
     let chunk = (n / (threads * 4)).max(1);
+    let started_us = telemetry::wall_now_us();
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -65,9 +96,7 @@ where
                         }
                     }
                     let finished = done.fetch_add(hi - lo, Ordering::Relaxed) + (hi - lo);
-                    if !label.is_empty() {
-                        eprintln!("[{label}] {finished}/{n}");
-                    }
+                    report_progress(label, finished, n, threads, started_us);
                 }
                 IN_SWEEP.with(|flag| flag.set(false));
             });

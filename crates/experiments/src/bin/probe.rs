@@ -1,19 +1,53 @@
 //! Ad-hoc diagnostics for calibration (not part of the reproduction).
+//!
+//! Subcommands: `dynamic` `trace` `energy` `solo` `sweep` `fig11` `fig13`.
+//! `probe trace [FG [BG]]` runs a dynamically-partitioned pair with a
+//! telemetry collector attached and dumps the controller's decision log —
+//! one line per sampling window, with the phase verdict and allocation.
+
+use std::process::ExitCode;
+use std::sync::Arc;
 
 use waypart_core::dynamic::DynamicConfig;
 use waypart_core::policy::PartitionPolicy;
 use waypart_core::runner::{Runner, RunnerConfig};
-use waypart_workloads::registry;
+use waypart_telemetry::sinks::CollectingSink;
+use waypart_telemetry::{self as telemetry, FieldValue};
+use waypart_workloads::{registry, AppSpec};
 
-fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "dynamic".into());
+/// Looks `name` up in the registry; on failure prints every known app
+/// (instead of panicking with an unhelpful `unwrap` backtrace) and exits.
+fn lookup(name: &str) -> Result<AppSpec, ExitCode> {
+    match registry::by_name(name) {
+        Some(spec) => Ok(spec),
+        None => {
+            eprintln!("unknown app `{name}`; available:");
+            for app in registry::all() {
+                eprintln!("  {}", app.name);
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn arg_or(n: usize, default: &str) -> String {
+    std::env::args().nth(n).unwrap_or_else(|| default.into())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+fn run() -> Result<(), ExitCode> {
+    let which = arg_or(1, "dynamic");
     let runner = Runner::new(RunnerConfig::test());
     match which.as_str() {
         "dynamic" => {
-            let fg_name = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
-            let bg_name = std::env::args().nth(3).unwrap_or_else(|| "swaptions".into());
-            let fg = registry::by_name(&fg_name).unwrap();
-            let bg = registry::by_name(&bg_name).unwrap();
+            let fg = lookup(&arg_or(2, "429.mcf"))?;
+            let bg = lookup(&arg_or(3, "swaptions"))?;
             let res = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
             println!("fg_cycles {} reallocs {}", res.fg_cycles, res.reallocations);
             println!("ways trace: {:?}", res.fg_ways_trace.iter().map(|p| p.1).collect::<Vec<_>>());
@@ -22,10 +56,51 @@ fn main() {
                 println!("  w{i:3} instr {instr:>10} mpki {mpki:8.2}");
             }
         }
+        "trace" => {
+            let fg = lookup(&arg_or(2, "429.mcf"))?;
+            let bg = lookup(&arg_or(3, "swaptions"))?;
+            let sink = Arc::new(CollectingSink::new());
+            telemetry::set_sink(sink.clone());
+            let res = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
+            telemetry::clear_sink();
+            println!(
+                "{}+{}: fg_cycles {} reallocs {} — controller decision log:",
+                fg.name, bg.name, res.fg_cycles, res.reallocations
+            );
+            let fmt = |v: Option<&FieldValue>| match v {
+                Some(FieldValue::F64(x)) => format!("{x:8.2}"),
+                Some(FieldValue::U64(n)) => format!("{n}"),
+                Some(FieldValue::Str(s)) => s.clone(),
+                Some(FieldValue::Bool(b)) => b.to_string(),
+                Some(FieldValue::I64(n)) => format!("{n}"),
+                None => "-".into(),
+            };
+            for ev in sink.take() {
+                match ev.name {
+                    "dyn.decision" => println!(
+                        "  cycle {:>12} raw {} smoothed {} phase {:<13} fg_ways {:>2} reclaiming {}",
+                        ev.stamp.ticks(),
+                        fmt(ev.get("raw_mpki")),
+                        fmt(ev.get("mpki")),
+                        fmt(ev.get("phase")),
+                        fmt(ev.get("fg_ways")),
+                        fmt(ev.get("reclaiming")),
+                    ),
+                    "dyn.realloc" => println!(
+                        "  cycle {:>12} REALLOC {} -> {} ways ({})",
+                        ev.stamp.ticks(),
+                        fmt(ev.get("from_ways")),
+                        fmt(ev.get("to_ways")),
+                        fmt(ev.get("phase")),
+                    ),
+                    _ => {}
+                }
+            }
+        }
         "energy" => {
             for (a, b) in [("429.mcf", "429.mcf"), ("429.mcf", "459.GemsFDTD"), ("459.GemsFDTD", "459.GemsFDTD")] {
-                let fg = registry::by_name(a).unwrap();
-                let bg = registry::by_name(b).unwrap();
+                let fg = lookup(a)?;
+                let bg = lookup(b)?;
                 let sa = runner.run_solo(&fg, 8, 12);
                 let sb = runner.run_solo(&bg, 8, 12);
                 for ways in [3, 6, 9] {
@@ -44,8 +119,8 @@ fn main() {
             }
         }
         "solo" => {
-            let name = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
-            let app = registry::by_name(&name).unwrap();
+            let name = arg_or(2, "429.mcf");
+            let app = lookup(&name)?;
             for ways in 1..=12 {
                 let r = runner.run_solo(&app, 4, ways);
                 println!(
@@ -58,10 +133,8 @@ fn main() {
             }
         }
         "sweep" => {
-            let a = std::env::args().nth(2).unwrap_or_else(|| "429.mcf".into());
-            let b = std::env::args().nth(3).unwrap_or_else(|| "429.mcf".into());
-            let fg = registry::by_name(&a).unwrap();
-            let bg = registry::by_name(&b).unwrap();
+            let fg = lookup(&arg_or(2, "429.mcf"))?;
+            let bg = lookup(&arg_or(3, "429.mcf"))?;
             let solo = runner.run_solo(&fg, 4, 12).cycles;
             let search = waypart_core::static_search::best_biased(&runner, &fg, &bg, solo);
             for (w, s) in &search.slowdowns {
@@ -108,6 +181,10 @@ fn main() {
             let (d, s) = f13.stats();
             println!("avg dynamic {:.2}x shared {:.2}x", d.mean, s.mean);
         }
-        other => eprintln!("unknown probe {other}"),
+        other => {
+            eprintln!("unknown probe `{other}` (use dynamic|trace|energy|solo|sweep|fig11|fig13)");
+            return Err(ExitCode::FAILURE);
+        }
     }
+    Ok(())
 }

@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--scale test|bench|full] [--out DIR] [ARTIFACT...]
+//! reproduce [--scale test|bench|full] [--out DIR] [--trace PATH]...
+//!           [--metrics PATH] [ARTIFACT...]
 //! ```
 //!
 //! `ARTIFACT` is any of `fig1 table1 fig2 table2 fig3 fig4 fig5 fig6 fig7
@@ -13,17 +14,77 @@
 //! `$WAYPART_CACHE_DIR`), so a rerun — or an interrupted run resumed —
 //! only pays for measurements it has not seen before. Pass `--no-cache`
 //! to keep the cache in memory only. The final line reports hits/misses.
+//!
+//! ## Telemetry
+//!
+//! `--trace PATH` (repeatable) streams the structured event log of the
+//! whole reproduction to `PATH`: a `.jsonl` suffix selects the JSONL
+//! event schema (validate with the `validate_trace` binary), anything
+//! else the Chrome `trace_event` format loadable in `chrome://tracing` /
+//! Perfetto. `--metrics PATH` writes an aggregated metrics JSON (event
+//! counts/sums, per-figure wall-clock, cache traffic) and prints a
+//! summary table at the end. Telemetry observes and never steers:
+//! simulated results are byte-identical with or without these flags.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use waypart_core::runner::RunnerConfig;
 use waypart_experiments::*;
+use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink};
+use waypart_telemetry::{self as telemetry, Event, Stamp};
+
+/// Wraps each artifact's computation in a wall-stamped `figure.run` span
+/// and remembers the per-figure seconds for the metrics file.
+struct FigureTimer {
+    seconds: RefCell<Vec<(String, f64)>>,
+}
+
+impl FigureTimer {
+    fn new() -> Self {
+        FigureTimer { seconds: RefCell::new(Vec::new()) }
+    }
+
+    fn run<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        telemetry::emit_with(|| {
+            Event::begin("figure.run", Stamp::WallUs(telemetry::wall_now_us()))
+                .field("figure", name)
+        });
+        let t0 = Instant::now();
+        let out = f();
+        let secs = t0.elapsed().as_secs_f64();
+        telemetry::emit_with(|| {
+            Event::end("figure.run", Stamp::WallUs(telemetry::wall_now_us()))
+                .field("figure", name)
+                .field("seconds", secs)
+        });
+        self.seconds.borrow_mut().push((name.to_string(), secs));
+        out
+    }
+
+    /// `{"fig1": 0.52, ...}` for embedding into the metrics JSON.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, secs)) in self.seconds.borrow().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{secs:.6}"));
+        }
+        out.push('}');
+        out
+    }
+}
 
 fn main() {
     let mut scale = "test".to_string();
     let mut out: Option<PathBuf> = None;
     let mut use_cache = true;
+    let mut trace_paths: Vec<PathBuf> = Vec::new();
+    let mut metrics_path: Option<PathBuf> = None;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -31,8 +92,13 @@ fn main() {
             "--scale" => scale = args.next().expect("--scale needs a value"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
             "--no-cache" => use_cache = false,
+            "--trace" => trace_paths.push(PathBuf::from(args.next().expect("--trace needs a path"))),
+            "--metrics" => metrics_path = Some(PathBuf::from(args.next().expect("--metrics needs a path"))),
             "--help" | "-h" => {
-                println!("usage: reproduce [--scale test|bench|full] [--out DIR] [--no-cache] [ARTIFACT...]");
+                println!(
+                    "usage: reproduce [--scale test|bench|full] [--out DIR] [--no-cache] \
+                     [--trace PATH]... [--metrics PATH] [ARTIFACT...]"
+                );
                 return;
             }
             other => {
@@ -59,6 +125,29 @@ fn main() {
     let out_dir = out.unwrap_or_else(|| PathBuf::from("results").join(&scale));
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
+    // Install the requested telemetry sinks. The Chrome format is the
+    // default; a `.jsonl` suffix selects the line-delimited event schema.
+    let mut sinks: Vec<Arc<dyn telemetry::Sink>> = Vec::new();
+    for path in &trace_paths {
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            let sink = JsonlSink::create(path).expect("create --trace file");
+            sinks.push(Arc::new(sink));
+        } else {
+            sinks.push(Arc::new(ChromeTraceSink::create(path)));
+        }
+    }
+    let metrics = if metrics_path.is_some() || !trace_paths.is_empty() {
+        let m = Arc::new(MetricsSink::new());
+        sinks.push(m.clone());
+        Some(m)
+    } else {
+        None
+    };
+    if !sinks.is_empty() {
+        telemetry::set_sink(Arc::new(MultiSink::new(sinks)));
+    }
+    let timer = FigureTimer::new();
+
     let lab = if use_cache { Lab::persistent(cfg) } else { Lab::new(cfg) };
     let started = std::time::Instant::now();
     let emit = |name: &str, text: String| {
@@ -79,15 +168,15 @@ fn main() {
     let mut f3 = None;
     let mut f4 = None;
     if needs_characterization {
-        let fig1_data = fig1::run(&lab);
+        let fig1_data = timer.run("fig1", || fig1::run(&lab));
         if wanted.contains("fig1") {
             emit("fig1", fig1_data.render());
         }
         if wanted.contains("table1") {
-            let t1 = table1::run(&lab, &fig1_data);
+            let t1 = timer.run("table1", || table1::run(&lab, &fig1_data));
             emit("table1", t1.render());
         }
-        let table2_data = table2::run(&lab);
+        let table2_data = timer.run("table2", || table2::run(&lab));
         if wanted.contains("table2") {
             emit("table2", table2_data.render());
             let at_1mb = table2_data.fraction_satisfied_at(1.0 / 6.0);
@@ -101,16 +190,16 @@ fn main() {
                 ),
             );
         }
-        let fig3_data = fig3::run(&lab);
+        let fig3_data = timer.run("fig3", || fig3::run(&lab));
         if wanted.contains("fig3") {
             emit("fig3", fig3_data.render());
         }
-        let fig4_data = fig4::run(&lab);
+        let fig4_data = timer.run("fig4", || fig4::run(&lab));
         if wanted.contains("fig4") {
             emit("fig4", fig4_data.render());
         }
         if wanted.contains("fig5") {
-            let f5 = fig5::run(&fig1_data, &table2_data, &fig3_data, &fig4_data);
+            let f5 = timer.run("fig5", || fig5::run(&fig1_data, &table2_data, &fig3_data, &fig4_data));
             emit("fig5", f5.render());
         }
         f1 = Some(fig1_data);
@@ -121,66 +210,66 @@ fn main() {
     let _ = (f1, t2, f3, f4);
 
     if wanted.contains("fig2") {
-        emit("fig2", fig2::run(&lab).render());
+        emit("fig2", timer.run("fig2", || fig2::run(&lab)).render());
     }
     if wanted.contains("fig6") || wanted.contains("fig7") {
-        let f6 = fig6::run(&lab);
+        let f6 = timer.run("fig6", || fig6::run(&lab));
         if wanted.contains("fig6") {
             emit("fig6", f6.render());
         }
         if wanted.contains("fig7") {
-            emit("fig7", fig7::run(&f6).render());
+            emit("fig7", timer.run("fig7", || fig7::run(&f6)).render());
         }
     }
     if wanted.contains("fig8") {
-        emit("fig8", fig8::run(&lab).render());
+        emit("fig8", timer.run("fig8", || fig8::run(&lab)).render());
     }
 
     let needs_pairs = ["fig9", "fig10", "fig11", "fig13", "headline"]
         .iter()
         .any(|n| wanted.contains(*n));
     if needs_pairs {
-        let f9 = fig9::run(&lab);
+        let f9 = timer.run("fig9", || fig9::run(&lab));
         if wanted.contains("fig9") {
             emit("fig9", f9.render());
         }
-        let f10 = fig10::run(&lab, &f9);
+        let f10 = timer.run("fig10", || fig10::run(&lab, &f9));
         if wanted.contains("fig10") {
             emit("fig10", f10.render());
         }
-        let f11 = fig11::run(&f10);
+        let f11 = timer.run("fig11", || fig11::run(&f10));
         if wanted.contains("fig11") {
             emit("fig11", f11.render());
         }
-        let f13 = fig13::run(&lab, &f9);
+        let f13 = timer.run("fig13", || fig13::run(&lab, &f9));
         if wanted.contains("fig13") {
             emit("fig13", f13.render());
         }
         if wanted.contains("headline") {
-            let h = headline::run(&f9, &f10, &f11, &f13);
+            let h = timer.run("headline", || headline::run(&f9, &f10, &f11, &f13));
             emit("headline", h.render());
         }
     }
     if wanted.contains("fig12") {
-        emit("fig12", fig12::run(&lab).render());
+        emit("fig12", timer.run("fig12", || fig12::run(&lab)).render());
     }
     if wanted.contains("ext_ucp") {
-        emit("ext_ucp", ext_ucp::run(&lab).render());
+        emit("ext_ucp", timer.run("ext_ucp", || ext_ucp::run(&lab)).render());
     }
     if wanted.contains("ext_trio") {
-        emit("ext_trio", ext_trio::run(&lab).render());
+        emit("ext_trio", timer.run("ext_trio", || ext_trio::run(&lab)).render());
     }
     if wanted.contains("ext_thresholds") {
-        emit("ext_thresholds", ext_thresholds::run(&lab).render());
+        emit("ext_thresholds", timer.run("ext_thresholds", || ext_thresholds::run(&lab)).render());
     }
     if wanted.contains("ext_coloring") {
-        emit("ext_coloring", ext_coloring::run(&lab).render());
+        emit("ext_coloring", timer.run("ext_coloring", || ext_coloring::run(&lab)).render());
     }
     if wanted.contains("ext_qos") {
-        emit("ext_qos", ext_qos::run(&lab).render());
+        emit("ext_qos", timer.run("ext_qos", || ext_qos::run(&lab)).render());
     }
     if wanted.contains("ext_mba") {
-        emit("ext_mba", ext_mba::run(&lab).render());
+        emit("ext_mba", timer.run("ext_mba", || ext_mba::run(&lab)).render());
     }
 
     let stats = lab.cache_stats();
@@ -191,5 +280,42 @@ fn main() {
         stats.disk_hits,
         stats.misses
     );
+
+    // Telemetry epilogue: metrics summary table, metrics JSON, trace
+    // flush. All purely observational — nothing above read these sinks.
+    if let Some(metrics) = &metrics {
+        println!("\ntelemetry metrics:\n{}", metrics.render_table());
+        println!(
+            "run cache traffic: {} bytes read, {} bytes written, {} invalid entries, hit ratio {:.2}",
+            stats.bytes_read,
+            stats.bytes_written,
+            stats.invalid_entries,
+            stats.hit_ratio()
+        );
+        if let Some(path) = &metrics_path {
+            let json = format!(
+                "{{\"scale\":\"{scale}\",\"figure_seconds\":{},\"cache\":{{\"mem_hits\":{},\
+                 \"disk_hits\":{},\"misses\":{},\"invalid_entries\":{},\"bytes_read\":{},\
+                 \"bytes_written\":{},\"hit_ratio\":{:.6}}},\"events\":{}}}\n",
+                timer.to_json(),
+                stats.mem_hits,
+                stats.disk_hits,
+                stats.misses,
+                stats.invalid_entries,
+                stats.bytes_read,
+                stats.bytes_written,
+                stats.hit_ratio(),
+                metrics.to_json_value(),
+            );
+            std::fs::write(path, json).expect("write --metrics file");
+            println!("metrics written to {}", path.display());
+        }
+    }
+    if let Some(sink) = telemetry::clear_sink() {
+        sink.flush();
+        for path in &trace_paths {
+            println!("trace written to {}", path.display());
+        }
+    }
     println!("done in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
 }

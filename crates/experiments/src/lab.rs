@@ -17,6 +17,26 @@ use waypart_sim::msr::PrefetcherMask;
 use waypart_workloads::{registry, AppSpec};
 
 use crate::runcache::{CacheStats, RunCache};
+use waypart_telemetry::{self as telemetry, Event, Stamp};
+
+/// Emits a `dyn.run` summary for a controller-driven pair result.
+///
+/// Emitted *after* [`RunCache::get_or_run`] returns, so a warm cache
+/// still produces one summary per controller run — without this, a fully
+/// cached `reproduce` would show zero controller activity in its metrics
+/// even though the figures are full of it. Wall-stamped: it describes a
+/// result being *used* now, not simulated now.
+fn emit_pair_summary(kind: &'static str, fg: &AppSpec, bg: &AppSpec, res: &PairResult) {
+    telemetry::emit_with(|| {
+        Event::instant("dyn.run", Stamp::WallUs(telemetry::wall_now_us()))
+            .field("kind", kind)
+            .field("fg", fg.name)
+            .field("bg", bg.name)
+            .field("fg_cycles", res.fg_cycles)
+            .field("reallocations", res.reallocations)
+            .field("final_fg_ways", res.fg_ways_trace.last().map(|&(_, w)| w).unwrap_or(0))
+    });
+}
 
 /// Shared, cached measurement context.
 pub struct Lab {
@@ -112,19 +132,25 @@ impl Lab {
     /// A cached dynamically-partitioned pair run (Algorithm 6.2).
     pub fn pair_dynamic(&self, fg: &AppSpec, bg: &AppSpec, dyn_cfg: DynamicConfig) -> PairResult {
         let key = format!("dyn|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&dyn_cfg));
-        self.cache.get_or_run(&key, || self.runner.run_pair_dynamic(fg, bg, dyn_cfg))
+        let res = self.cache.get_or_run(&key, || self.runner.run_pair_dynamic(fg, bg, dyn_cfg));
+        emit_pair_summary("dynamic", fg, bg, &res);
+        res
     }
 
     /// A cached UCP-controlled pair run (§7 baseline).
     pub fn pair_ucp(&self, fg: &AppSpec, bg: &AppSpec, ucp_cfg: UcpConfig) -> PairResult {
         let key = format!("ucp|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&ucp_cfg));
-        self.cache.get_or_run(&key, || self.runner.run_pair_ucp(fg, bg, ucp_cfg))
+        let res = self.cache.get_or_run(&key, || self.runner.run_pair_ucp(fg, bg, ucp_cfg));
+        emit_pair_summary("ucp", fg, bg, &res);
+        res
     }
 
     /// A cached QoS-controlled pair run.
     pub fn pair_qos(&self, fg: &AppSpec, bg: &AppSpec, qos_cfg: QosConfig) -> PairResult {
         let key = format!("qos|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&qos_cfg));
-        self.cache.get_or_run(&key, || self.runner.run_pair_qos(fg, bg, qos_cfg))
+        let res = self.cache.get_or_run(&key, || self.runner.run_pair_qos(fg, bg, qos_cfg));
+        emit_pair_summary("qos", fg, bg, &res);
+        res
     }
 
     /// A cached pair run with multiple background copies.

@@ -52,12 +52,29 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Actually simulated.
     pub misses: u64,
+    /// Disk entries that existed but failed validation (torn write, old
+    /// schema, key collision) and degraded to a miss.
+    pub invalid_entries: u64,
+    /// Bytes read from disk entries (valid or not).
+    pub bytes_read: u64,
+    /// Bytes written to disk entries.
+    pub bytes_written: u64,
 }
 
 impl CacheStats {
     /// Total lookups.
     pub fn total(&self) -> u64 {
         self.mem_hits + self.disk_hits + self.misses
+    }
+
+    /// Fraction of lookups served without simulating (0 when idle) — the
+    /// cache's dedup ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.mem_hits + self.disk_hits) as f64 / total as f64
     }
 }
 
@@ -72,6 +89,9 @@ pub struct RunCache {
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    invalid_entries: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 impl RunCache {
@@ -102,6 +122,9 @@ impl RunCache {
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalid_entries: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
         }
     }
 
@@ -116,6 +139,9 @@ impl RunCache {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            invalid_entries: self.invalid_entries.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -140,20 +166,41 @@ impl RunCache {
         if let Some(text) = self.mem.lock().expect("run cache").get(&key) {
             let value = json::from_str::<T>(text).expect("corrupt in-memory cache entry");
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.emit_lookup(key_suffix, "mem_hit");
             return value;
         }
 
         if let Some(value) = self.load_disk::<T>(&key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.emit_lookup(key_suffix, "disk_hit");
             return value;
         }
 
         let result = run();
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.emit_lookup(key_suffix, "miss");
         let text = json::to_string(&result);
         self.store_disk(&key, &text);
         self.mem.lock().expect("run cache").insert(key, text);
         result
+    }
+
+    /// Emits one `cache.lookup` telemetry event (wall-stamped: cache
+    /// traffic is harness activity, not simulated time).
+    fn emit_lookup(&self, key_suffix: &str, outcome: &'static str) {
+        use waypart_telemetry as telemetry;
+        telemetry::emit_with(|| {
+            let stats = self.stats();
+            telemetry::Event::instant(
+                "cache.lookup",
+                telemetry::Stamp::WallUs(telemetry::wall_now_us()),
+            )
+            .field("key", key_suffix)
+            .field("outcome", outcome)
+            .field("hit", outcome != "miss")
+            .field("bytes_read", stats.bytes_read)
+            .field("bytes_written", stats.bytes_written)
+        });
     }
 
     /// File path for `key` under the cache directory.
@@ -166,7 +213,20 @@ impl RunCache {
     fn load_disk<T: Deserialize>(&self, key: &str) -> Option<T> {
         let path = self.entry_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
-        let envelope = json::parse(&text).ok()?;
+        self.bytes_read.fetch_add(text.len() as u64, Ordering::Relaxed);
+        let loaded = self.parse_entry::<T>(key, &text);
+        if loaded.is_none() {
+            // The file existed but didn't validate: torn write, stale
+            // schema, or a key collision. Count it; the caller treats it
+            // as a miss and the re-run's store overwrites it atomically.
+            self.invalid_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    /// Parses and validates one entry file's text against `key`.
+    fn parse_entry<T: Deserialize>(&self, key: &str, text: &str) -> Option<T> {
+        let envelope = json::parse(text).ok()?;
         let schema = envelope.field("schema").ok()?.as_u64().ok()?;
         let stored_key = envelope.field("key").ok()?.as_str().ok()?;
         if schema != u64::from(SCHEMA_VERSION) || stored_key != key {
@@ -198,8 +258,12 @@ impl RunCache {
         // the directory and last-writer-wins is fine (entries for one
         // key are identical by determinism).
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, json::to_string(&envelope)).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        let text = json::to_string(&envelope);
+        let len = text.len() as u64;
+        if std::fs::write(&tmp, text).is_ok() {
+            if std::fs::rename(&tmp, &path).is_ok() {
+                self.bytes_written.fetch_add(len, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -296,6 +360,93 @@ mod tests {
         let v: u64 = cache2.get_or_run("solo|y", || 6);
         assert_eq!(v, 6);
         assert_eq!(cache2.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The single (deterministic) entry file a one-entry cache wrote.
+    fn only_entry(dir: &PathBuf) -> PathBuf {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(dir).unwrap().map(|f| f.unwrap().path()).collect();
+        assert_eq!(entries.len(), 1, "expected exactly one cache entry");
+        entries.pop().unwrap()
+    }
+
+    /// One degraded-entry scenario: corrupt the stored entry with
+    /// `corrupt`, then assert the next lookup is a counted miss that
+    /// rewrites the entry so a *third* instance disk-hits again.
+    fn assert_degrades_and_heals(label: &str, corrupt: impl Fn(&PathBuf)) {
+        let dir = tmp_dir(label);
+        let cfg = RunnerConfig::test();
+        {
+            let cache = RunCache::persistent(&cfg, dir.clone());
+            let _: u64 = cache.get_or_run("solo|heal", || 11);
+            assert!(cache.stats().bytes_written > 0, "store must count bytes");
+        }
+        corrupt(&only_entry(&dir));
+
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let v: u64 = cache.get_or_run("solo|heal", || 12);
+        let s = cache.stats();
+        assert_eq!(v, 12, "{label}: corrupt entry served stale data");
+        assert_eq!((s.disk_hits, s.misses), (0, 1), "{label}: must degrade to a miss");
+        assert_eq!(s.invalid_entries, 1, "{label}: invalid entry not counted");
+        assert!(s.bytes_read > 0, "{label}: read bytes not counted");
+
+        // The miss's store must have atomically replaced the bad file:
+        // a fresh instance hits disk again and sees the new value.
+        let healed = RunCache::persistent(&cfg, dir.clone());
+        let w: u64 = healed.get_or_run("solo|heal", || panic!("{label}: entry not rewritten"));
+        assert_eq!(w, 12);
+        assert_eq!(healed.stats().disk_hits, 1);
+        assert_eq!(healed.stats().invalid_entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_degrades_and_is_rewritten() {
+        assert_degrades_and_heals("truncated", |path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            std::fs::write(path, &text[..text.len() / 2]).unwrap();
+        });
+    }
+
+    #[test]
+    fn stale_schema_version_degrades_and_is_rewritten() {
+        assert_degrades_and_heals("schema", |path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            let stale = text.replace(
+                &format!("\"schema\":{SCHEMA_VERSION}"),
+                &format!("\"schema\":{}", SCHEMA_VERSION + 999),
+            );
+            assert_ne!(text, stale, "schema field not found in entry");
+            std::fs::write(path, stale).unwrap();
+        });
+    }
+
+    #[test]
+    fn key_mismatch_degrades_and_is_rewritten() {
+        // A hash collision would store a different full key in the same
+        // file; simulate one by rewriting the embedded key.
+        assert_degrades_and_heals("badkey", |path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            let swapped = text.replace("solo|heal", "solo|collision");
+            assert_ne!(text, swapped, "key field not found in entry");
+            std::fs::write(path, swapped).unwrap();
+        });
+    }
+
+    #[test]
+    fn stats_expose_bytes_and_hit_ratio() {
+        let dir = tmp_dir("bytes");
+        let cfg = RunnerConfig::test();
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let _: u64 = cache.get_or_run("solo|b", || 1);
+        let _: u64 = cache.get_or_run("solo|b", || 2);
+        let s = cache.stats();
+        assert!(s.bytes_written > 0);
+        assert_eq!(s.total(), 2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -64,6 +64,17 @@ impl Sampler {
         self.last = counters;
         self.next_at = now + self.interval;
         self.samples.push(sample);
+        // One counter event per closed window: this single site covers
+        // every runner loop, since they all sample through here.
+        waypart_telemetry::emit_with(|| {
+            waypart_telemetry::Event::counter(
+                "perfmon.window",
+                waypart_telemetry::Stamp::Cycles(now),
+            )
+            .field("mpki", sample.mpki())
+            .field("instructions", sample.window.instructions)
+            .field("llc_misses", sample.window.llc_misses)
+        });
         Some(sample)
     }
 

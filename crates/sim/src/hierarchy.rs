@@ -85,6 +85,9 @@ pub struct Hierarchy {
     mba_percent: Vec<u8>,
     /// Token buckets for prefetch admission under MBA throttling.
     pf_admit: Vec<u32>,
+    /// Telemetry-only per-level tallies. Never read by simulation logic.
+    #[cfg(feature = "telemetry")]
+    tallies: crate::tallies::LevelTallies,
 }
 
 impl Hierarchy {
@@ -105,7 +108,15 @@ impl Hierarchy {
             coloring: None,
             mba_percent: vec![100; cfg.cores],
             pf_admit: vec![0; cfg.cores],
+            #[cfg(feature = "telemetry")]
+            tallies: Default::default(),
         }
+    }
+
+    /// Snapshot of the cumulative per-level tallies (telemetry builds).
+    #[cfg(feature = "telemetry")]
+    pub fn tallies(&self) -> crate::tallies::LevelTallies {
+        self.tallies
     }
 
     /// Sets core `core`'s memory-bandwidth throttle (percent, 10..=100).
@@ -209,6 +220,10 @@ impl Hierarchy {
             // Specially tagged loads/stores stream through memory without
             // caching (the stream_uncached microbenchmark, §2.3).
             let latency = self.throttle(core, dram.access(self.latency.dram));
+            #[cfg(feature = "telemetry")]
+            {
+                self.tallies.bypasses += 1;
+            }
             return AccessOutcome { latency, level: HitLevel::Bypass, dram_writebacks: 0, prefetches_issued: 0 };
         }
 
@@ -266,6 +281,30 @@ impl Hierarchy {
         }
         self.pf_scratch.clear();
 
+        #[cfg(feature = "telemetry")]
+        {
+            match level {
+                HitLevel::L1 => self.tallies.l1_hits += 1,
+                HitLevel::L2 => {
+                    self.tallies.l1_misses += 1;
+                    self.tallies.l2_hits += 1;
+                }
+                HitLevel::Llc => {
+                    self.tallies.l1_misses += 1;
+                    self.tallies.l2_misses += 1;
+                    self.tallies.llc_hits += 1;
+                }
+                HitLevel::Dram => {
+                    self.tallies.l1_misses += 1;
+                    self.tallies.l2_misses += 1;
+                    self.tallies.llc_misses += 1;
+                }
+                HitLevel::Bypass => {}
+            }
+            self.tallies.dram_writebacks += u64::from(writebacks);
+            self.tallies.pf_issued += u64::from(issued);
+        }
+
         AccessOutcome { latency, level, dram_writebacks: writebacks, prefetches_issued: issued }
     }
 
@@ -274,7 +313,15 @@ impl Hierarchy {
     /// dirty write-back of the victim. Returns DRAM write-backs performed.
     fn fill_llc(&mut self, core: CoreId, set: usize, line: LineAddr, mask: WayMask, dram: &mut DramModel) -> u32 {
         let mut writebacks = 0;
+        #[cfg(feature = "telemetry")]
+        {
+            self.tallies.llc_fills += 1;
+        }
         if let Some(ev) = self.llc.fill_in(set, line, mask, false, core as u8) {
+            #[cfg(feature = "telemetry")]
+            {
+                self.tallies.llc_evictions += 1;
+            }
             let mut victim_dirty = ev.dirty;
             // Inclusion: the victim vanishes from every inner cache (which
             // hold *program-space* lines — translate back from LLC space).
@@ -352,6 +399,10 @@ impl Hierarchy {
         if pct < 100 {
             self.pf_admit[core] += pct;
             if self.pf_admit[core] < 100 {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.tallies.pf_dropped += 1;
+                }
                 return 0;
             }
             self.pf_admit[core] -= 100;
@@ -365,6 +416,10 @@ impl Hierarchy {
         let in_llc = in_l2 || self.llc.contains_in(llc_set, llc_line);
         if !in_llc {
             if dram.utilization() > PREFETCH_DROP_UTILIZATION {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.tallies.pf_dropped += 1;
+                }
                 return 0;
             }
             ring.access(0);

@@ -49,6 +49,8 @@ pub mod plru;
 pub mod prefetch;
 pub mod ring;
 pub mod stream;
+#[cfg(feature = "telemetry")]
+pub mod tallies;
 pub mod trace;
 pub mod umon;
 pub mod waymask;

@@ -188,6 +188,12 @@ impl Machine {
         &self.hierarchy
     }
 
+    /// Snapshot of the hierarchy's per-level telemetry tallies.
+    #[cfg(feature = "telemetry")]
+    pub fn tallies(&self) -> crate::tallies::LevelTallies {
+        self.hierarchy.tallies()
+    }
+
     /// Enables per-core utility monitors (for the UCP baseline).
     pub fn enable_umon(&mut self) {
         self.hierarchy.enable_umon();

@@ -1,0 +1,70 @@
+//! Per-level cache tallies — the simulator's telemetry metrics snapshot.
+//!
+//! Only compiled with the crate's `telemetry` feature. The counters are
+//! plain `u64` increments on paths that already branch on the outcome
+//! being counted, and they never influence any simulation decision — the
+//! `telemetry_inert` integration test holds golden fingerprints
+//! byte-identical between feature-on and feature-off builds.
+
+/// Cumulative per-level hit/miss/fill/evict counts for one hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelTallies {
+    /// Demand accesses that hit in L1.
+    pub l1_hits: u64,
+    /// Demand accesses that missed L1.
+    pub l1_misses: u64,
+    /// L1 misses that hit in L2.
+    pub l2_hits: u64,
+    /// L1 misses that also missed L2.
+    pub l2_misses: u64,
+    /// L2 misses that hit in the shared LLC.
+    pub llc_hits: u64,
+    /// L2 misses that went to DRAM.
+    pub llc_misses: u64,
+    /// Lines filled into the LLC (demand + prefetch).
+    pub llc_fills: u64,
+    /// Valid LLC victims evicted by fills (inclusive back-invalidation).
+    pub llc_evictions: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writebacks: u64,
+    /// Prefetch requests issued into the hierarchy.
+    pub pf_issued: u64,
+    /// Prefetch requests dropped (MBA admission or DRAM saturation).
+    pub pf_dropped: u64,
+    /// Non-temporal accesses that bypassed the hierarchy.
+    pub bypasses: u64,
+}
+
+impl LevelTallies {
+    /// Field-name/value pairs for exporting as telemetry event payloads.
+    pub fn entries(&self) -> [(&'static str, u64); 12] {
+        [
+            ("l1_hits", self.l1_hits),
+            ("l1_misses", self.l1_misses),
+            ("l2_hits", self.l2_hits),
+            ("l2_misses", self.l2_misses),
+            ("llc_hits", self.llc_hits),
+            ("llc_misses", self.llc_misses),
+            ("llc_fills", self.llc_fills),
+            ("llc_evictions", self.llc_evictions),
+            ("dram_writebacks", self.dram_writebacks),
+            ("pf_issued", self.pf_issued),
+            ("pf_dropped", self.pf_dropped),
+            ("bypasses", self.bypasses),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_cover_every_field() {
+        let t = LevelTallies { l1_hits: 1, bypasses: 12, ..Default::default() };
+        let entries = t.entries();
+        assert_eq!(entries.len(), 12);
+        assert_eq!(entries[0], ("l1_hits", 1));
+        assert_eq!(entries[11], ("bypasses", 12));
+    }
+}

@@ -1,0 +1,79 @@
+//! Validates a waypart trace file without needing `jq`.
+//!
+//! Usage: `validate_trace <file.jsonl | file.trace.json> [...]`
+//!
+//! `.jsonl` files are checked line-by-line against the event schema
+//! (see `waypart_telemetry::schema`). Anything else is treated as a
+//! Chrome `trace_event` export and checked for being a well-formed JSON
+//! array of objects each carrying `name`/`ph`/`pid`/`tid`/`ts`.
+//! Exits nonzero on the first invalid file; used by `scripts/ci.sh`.
+
+use std::process::ExitCode;
+
+use waypart_telemetry::schema::{parse_json, validate_jsonl, Json};
+
+fn validate_chrome(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = match doc {
+        Json::Arr(events) => events,
+        _ => return Err("chrome trace must be a JSON array".into()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("event {i}: {msg}"));
+        if !matches!(ev, Json::Obj(_)) {
+            return fail("not an object");
+        }
+        match ev.get("ph") {
+            Some(Json::Str(ph)) if matches!(ph.as_str(), "B" | "E" | "i" | "C" | "M") => {}
+            other => return fail(&format!("bad or missing `ph`: {other:?}")),
+        }
+        match ev.get("name") {
+            Some(Json::Str(name)) if !name.is_empty() => {}
+            _ => return fail("missing `name`"),
+        }
+        for key in ["pid", "tid"] {
+            match ev.get(key) {
+                Some(Json::Num { is_int: true, value }) if *value >= 0.0 => {}
+                _ => return fail(&format!("missing integer `{key}`")),
+            }
+        }
+        // Metadata events (`M`) have no timestamp; everything else must.
+        if !matches!(ev.get("ph"), Some(Json::Str(ph)) if ph == "M") {
+            match ev.get("ts") {
+                Some(Json::Num { value, .. }) if *value >= 0.0 => {}
+                _ => return fail("missing `ts`"),
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.jsonl | trace.json> [...]");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let result = if path.ends_with(".jsonl") {
+            validate_jsonl(&text).map(|n| (n, "events"))
+        } else {
+            validate_chrome(&text).map(|n| (n, "chrome trace entries"))
+        };
+        match result {
+            Ok((n, what)) => println!("{path}: OK ({n} {what})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

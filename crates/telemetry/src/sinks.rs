@@ -1,0 +1,402 @@
+//! Event sinks: in-memory collection, JSONL streaming, Chrome
+//! `trace_event` export, and metric aggregation.
+//!
+//! All sinks are `Send + Sync` (sweep workers emit concurrently) and all
+//! of them treat I/O errors as non-fatal: telemetry must never abort a
+//! measurement run.
+
+use crate::event::{push_json_str, push_json_value, Event, EventKind, FieldValue, Stamp};
+use crate::Sink;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Collects events in memory — for tests and the `probe trace` decision
+/// dump.
+#[derive(Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns everything collected so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("collecting sink"))
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collecting sink").len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for CollectingSink {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("collecting sink").push(event.clone());
+    }
+}
+
+/// Fans every event out to several sinks (e.g. JSONL + Chrome + metrics).
+pub struct MultiSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// A sink that forwards to every element of `sinks`.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&self, event: &Event) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+/// Streams events to a file as JSON Lines — one event object per line,
+/// in the schema [`crate::schema`] validates.
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink { out: Mutex::new(std::io::BufWriter::new(file)), path })
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl sink");
+        let _ = out.write_all(line.as_bytes());
+    }
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink").flush();
+    }
+}
+
+/// Accumulates events and writes a Chrome `trace_event`-format JSON array
+/// on [`ChromeTraceSink::flush`], loadable in `chrome://tracing` and
+/// Perfetto.
+///
+/// Mapping: cycle-stamped events land on pid 1 ("simulated time", 1 cycle
+/// rendered as 1 µs), wall-stamped events on pid 2 ("host time"). Each
+/// simulated run gets its own track (tid) because every run's cycle clock
+/// restarts at 0.
+pub struct ChromeTraceSink {
+    entries: Mutex<Vec<String>>,
+    path: PathBuf,
+}
+
+/// Chrome pid for the simulated-cycles clock.
+const PID_SIM: u32 = 1;
+/// Chrome pid for the host wall clock.
+const PID_HOST: u32 = 2;
+
+impl ChromeTraceSink {
+    /// A sink that will write `path` when flushed.
+    pub fn create(path: impl AsRef<Path>) -> Self {
+        let meta = |pid: u32, name: &str| {
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            )
+        };
+        ChromeTraceSink {
+            entries: Mutex::new(vec![
+                meta(PID_SIM, "simulated time (1 cycle = 1 us)"),
+                meta(PID_HOST, "host time"),
+            ]),
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn render(event: &Event) -> String {
+        let (ph, pid) = match (event.kind, event.stamp) {
+            (EventKind::Begin, Stamp::Cycles(_)) => ("B", PID_SIM),
+            (EventKind::Begin, Stamp::WallUs(_)) => ("B", PID_HOST),
+            (EventKind::End, Stamp::Cycles(_)) => ("E", PID_SIM),
+            (EventKind::End, Stamp::WallUs(_)) => ("E", PID_HOST),
+            (EventKind::Instant, Stamp::Cycles(_)) => ("i", PID_SIM),
+            (EventKind::Instant, Stamp::WallUs(_)) => ("i", PID_HOST),
+            (EventKind::Counter, Stamp::Cycles(_)) => ("C", PID_SIM),
+            (EventKind::Counter, Stamp::WallUs(_)) => ("C", PID_HOST),
+        };
+        let mut out = String::with_capacity(96 + event.fields.len() * 24);
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, event.name);
+        out.push_str(",\"ph\":\"");
+        out.push_str(ph);
+        out.push_str("\",\"pid\":");
+        out.push_str(&pid.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&event.tid.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&event.stamp.ticks().to_string());
+        if event.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_value(&mut out, v);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, event: &Event) {
+        let line = Self::render(event);
+        self.entries.lock().expect("chrome sink").push(line);
+    }
+
+    /// Writes the accumulated trace as a single JSON array.
+    fn flush(&self) {
+        let entries = self.entries.lock().expect("chrome sink");
+        let mut text = String::with_capacity(entries.iter().map(|e| e.len() + 2).sum::<usize>() + 4);
+        text.push_str("[\n");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                text.push_str(",\n");
+            }
+            text.push_str(e);
+        }
+        text.push_str("\n]\n");
+        let _ = std::fs::write(&self.path, text);
+    }
+}
+
+/// Per-event-name aggregate maintained by [`MetricsSink`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricAgg {
+    /// Events recorded under this name.
+    pub count: u64,
+    /// Per-field sums of numeric payloads (booleans count `true`s).
+    pub sums: BTreeMap<&'static str, f64>,
+    /// Per-field maxima of numeric payloads.
+    pub maxes: BTreeMap<&'static str, f64>,
+}
+
+/// Aggregates every event into per-name counts and numeric field
+/// sums/maxima — the source of `reproduce`'s end-of-run metrics summary.
+#[derive(Default)]
+pub struct MetricsSink {
+    aggs: Mutex<BTreeMap<&'static str, MetricAgg>>,
+}
+
+impl MetricsSink {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of all aggregates, keyed by event name.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, MetricAgg> {
+        self.aggs.lock().expect("metrics sink").clone()
+    }
+
+    /// Renders the aggregates as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let aggs = self.snapshot();
+        if aggs.is_empty() {
+            return "no telemetry events recorded\n".to_string();
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<18} {:>9}  field sums\n", "event", "count"));
+        for (name, agg) in &aggs {
+            let mut sums = String::new();
+            for (k, v) in &agg.sums {
+                if !sums.is_empty() {
+                    sums.push_str("  ");
+                }
+                // Integers dominate; render exact when the sum is one.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    sums.push_str(&format!("{k}={}", *v as i64));
+                } else {
+                    sums.push_str(&format!("{k}={v:.3}"));
+                }
+            }
+            out.push_str(&format!("{name:<18} {:>9}  {sums}\n", agg.count));
+        }
+        out
+    }
+
+    /// Renders the aggregates as a JSON object (`{"events": {...}}`
+    /// fragment body), for embedding into a metrics file.
+    pub fn to_json_value(&self) -> String {
+        let aggs = self.snapshot();
+        let mut out = String::from("{");
+        for (i, (name, agg)) in aggs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&agg.count.to_string());
+            out.push_str(",\"sums\":{");
+            for (j, (k, v)) in agg.sums.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_value(&mut out, &FieldValue::F64(*v));
+            }
+            out.push_str("},\"max\":{");
+            for (j, (k, v)) in agg.maxes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_value(&mut out, &FieldValue::F64(*v));
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl Sink for MetricsSink {
+    fn record(&self, event: &Event) {
+        let mut aggs = self.aggs.lock().expect("metrics sink");
+        let agg = aggs.entry(event.name).or_default();
+        agg.count += 1;
+        for (k, v) in &event.fields {
+            let num = match v {
+                FieldValue::U64(n) => Some(*n as f64),
+                FieldValue::I64(n) => Some(*n as f64),
+                FieldValue::F64(x) if x.is_finite() => Some(*x),
+                FieldValue::Bool(b) => Some(f64::from(u8::from(*b))),
+                _ => None,
+            };
+            if let Some(x) = num {
+                *agg.sums.entry(k).or_insert(0.0) += x;
+                let m = agg.maxes.entry(k).or_insert(f64::NEG_INFINITY);
+                if x > *m {
+                    *m = x;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, ts: u64) -> Event {
+        Event::instant(name, Stamp::Cycles(ts))
+    }
+
+    #[test]
+    fn collecting_sink_roundtrips() {
+        let s = CollectingSink::new();
+        s.record(&ev("a", 1));
+        s.record(&ev("b", 2));
+        let got = s.take();
+        assert_eq!(got.len(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_counts_sums_maxes() {
+        let m = MetricsSink::new();
+        m.record(&ev("cache.lookup", 0).field("hit", true).field("bytes", 100u64));
+        m.record(&ev("cache.lookup", 0).field("hit", false).field("bytes", 50u64));
+        let snap = m.snapshot();
+        let agg = &snap["cache.lookup"];
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sums["hit"], 1.0);
+        assert_eq!(agg.sums["bytes"], 150.0);
+        assert_eq!(agg.maxes["bytes"], 100.0);
+        assert!(m.render_table().contains("cache.lookup"));
+        let json = m.to_json_value();
+        assert!(json.contains("\"cache.lookup\""), "{json}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let path = std::env::temp_dir().join(format!("waypart-jsonl-{}.jsonl", std::process::id()));
+        let s = JsonlSink::create(&path).unwrap();
+        s.record(&ev("x.y", 3).field("v", 1.25));
+        s.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        crate::schema::validate_jsonl(&text).expect("schema-valid line");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_sink_writes_loadable_array() {
+        let path = std::env::temp_dir().join(format!("waypart-chrome-{}.json", std::process::id()));
+        let s = ChromeTraceSink::create(&path);
+        s.record(&Event::begin("span", Stamp::Cycles(0)).field("who", "test"));
+        s.record(&Event::end("span", Stamp::Cycles(10)));
+        s.record(&Event::instant("mark", Stamp::WallUs(5)));
+        s.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = crate::schema::parse_json(&text).expect("valid JSON");
+        let arr = match v {
+            crate::schema::Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        // 2 process_name metadata records + 3 events.
+        assert_eq!(arr.len(), 5);
+        assert!(text.contains("\"ph\":\"B\"") && text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"pid\":2"), "host event must land on pid 2");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = std::sync::Arc::new(CollectingSink::new());
+        let b = std::sync::Arc::new(MetricsSink::new());
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        multi.record(&ev("m", 1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.snapshot()["m"].count, 1);
+    }
+}

@@ -88,6 +88,17 @@ for d in "$SCRATCH"/base_* "$SCRATCH"/curr_*; do
 done
 echo "artifacts byte-identical across all runs"
 
+# Per-figure wall-clock via the telemetry metrics exporter (warm cache,
+# so this times figure assembly + cache replay, not raw simulation).
+echo "== per-figure timing (warm cache) =="
+WAYPART_CACHE_DIR=$SCRATCH/cache "$CURRENT_BIN" --scale test \
+  --out "$SCRATCH/figtime" --metrics "$SCRATCH/metrics.json" >/dev/null 2>&1 || true
+if [ -s "$SCRATCH/metrics.json" ]; then
+  FIG_SECONDS=$(jq '.figure_seconds' "$SCRATCH/metrics.json")
+else
+  FIG_SECONDS=null   # older binary without --metrics
+fi
+
 ENGINE_LINE=$(target/release/examples/profile_engine sololoop 8)
 echo "$ENGINE_LINE"
 NS_PER_ACCESS=$(echo "$ENGINE_LINE" | tr ' ' '\n' | sed -n 's/^ns_per_access=//p')
@@ -110,10 +121,11 @@ jq -n \
   --argjson speedup "$SPEEDUP" \
   --argjson cold_speedup "$COLD_SPEEDUP" \
   --argjson ns_per_access "$NS_PER_ACCESS" \
+  --argjson figure_seconds "$FIG_SECONDS" \
   '{bench: "reproduce --scale test", protocol: "interleaved A/B, shared cache dir for current (run 1 cold, runs 2+ warm)",
     runs: $runs, baseline_median_s: $baseline_median_s, current_median_s: $current_median_s,
     current_cold_s: $current_cold_s, speedup: $speedup, cold_speedup: $cold_speedup,
-    engine_ns_per_access: $ns_per_access}' > "$OUT"
+    engine_ns_per_access: $ns_per_access, figure_seconds_warm: $figure_seconds}' > "$OUT"
 echo "wrote $OUT:"
 cat "$OUT"
 rm -rf "$SCRATCH"

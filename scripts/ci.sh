@@ -27,6 +27,22 @@ if [ "$QUICK" -eq 0 ]; then
   cargo test --release --test figures_smoke --test headline_shape -q
 fi
 
+echo "== telemetry: feature-on build + inertness + trace validation =="
+# The telemetry feature must not change a single simulation byte: the
+# goldens and determinism suite re-run with it enabled, plus the
+# inertness test that attaches live sinks (DESIGN.md §5c).
+cargo test --release --features telemetry \
+  --test determinism --test golden_fingerprint --test telemetry_inert -q
+# Emitted traces must satisfy their own schemas (offline, jq-free).
+TRACE_DIR=$(mktemp -d /tmp/waypart-ci-trace.XXXXXX)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --no-cache --out "$TRACE_DIR/results" \
+  --trace "$TRACE_DIR/trace.jsonl" --trace "$TRACE_DIR/trace.json" \
+  --metrics "$TRACE_DIR/metrics.json" fig12 >/dev/null
+cargo run --release -p waypart-telemetry --bin validate_trace -- \
+  "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/trace.json"
+
 echo "== bench smoke (engine throughput, 2 iterations) =="
 cargo build --release --example profile_engine
 target/release/examples/profile_engine sololoop 2

@@ -29,7 +29,10 @@
 //!   biased-partition oracle sweep, and the measurement runner;
 //! * [`analysis`] — single-linkage clustering, feature vectors, and
 //!   consolidation metrics;
-//! * [`experiments`] — one regenerator per table/figure of the paper.
+//! * [`experiments`] — one regenerator per table/figure of the paper;
+//! * [`telemetry`] — structured tracing and metrics over the whole
+//!   pipeline (span/event API, JSONL + Chrome `trace_event` exporters),
+//!   guaranteed inert: enabling it changes no simulation output.
 //!
 //! ## Quickstart
 //!
@@ -58,4 +61,5 @@ pub use waypart_energy as energy;
 pub use waypart_experiments as experiments;
 pub use waypart_perfmon as perfmon;
 pub use waypart_sim as sim;
+pub use waypart_telemetry as telemetry;
 pub use waypart_workloads as workloads;

@@ -1,0 +1,116 @@
+//! Telemetry must be *observation only*: compiling the `telemetry`
+//! feature in AND attaching live sinks must not change a single byte of
+//! simulation output.
+//!
+//! This file re-runs the golden-fingerprint runs from
+//! `golden_fingerprint.rs` with the feature enabled and a collecting sink
+//! installed, and asserts the fingerprints still match the same golden
+//! strings those tests pin (which CI also checks with the feature off).
+//! If this test fails while `golden_fingerprint` passes, some
+//! instrumentation point leaked into simulation state — e.g. a tally
+//! probe that perturbs replacement or an observe() hook that consumes an
+//! RNG draw.
+
+#![cfg(feature = "telemetry")]
+
+use std::sync::Arc;
+
+use waypart::core::dynamic::DynamicConfig;
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::counters::HwCounters;
+use waypart::telemetry::sinks::CollectingSink;
+use waypart::telemetry::{self, Event, EventKind};
+use waypart::workloads::registry;
+
+// Must stay literally identical to the constants in golden_fingerprint.rs
+// (the feature-off run): one source of truth for "what the sim computes",
+// two independent build configurations checking it.
+const GOLDEN_SOLO: &str = "cycles=8720000 i=2929688 c=8702403 l1a=976556 l1m=609818 \
+     l2m=182976 llca=182976 llcm=1151 wb=286 pf=478216 pfh=0 nt=0";
+const GOLDEN_PAIR: &str = "fg_cycles=2240000 bg_i=1021381 i=2715628 c=7262038 l1a=905330 \
+     l1m=306836 l2m=103391 llca=103391 llcm=2251 wb=940 pf=566609 pfh=0 nt=0";
+
+fn fingerprint(c: &HwCounters) -> String {
+    format!(
+        "i={} c={} l1a={} l1m={} l2m={} llca={} llcm={} wb={} pf={} pfh={} nt={}",
+        c.instructions,
+        c.cycles,
+        c.l1_accesses,
+        c.l1_misses,
+        c.l2_misses,
+        c.llc_accesses,
+        c.llc_misses,
+        c.dram_writebacks,
+        c.prefetches_issued,
+        c.prefetch_hits,
+        c.non_temporal,
+    )
+}
+
+/// Runs `f` with a collecting sink installed, returning (result, events).
+/// Serialized via a lock because the sink is process-global and the test
+/// harness runs `#[test]`s concurrently within this binary.
+fn with_sink<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
+    use std::sync::Mutex;
+    static GATE: Mutex<()> = Mutex::new(());
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = Arc::new(CollectingSink::new());
+    telemetry::set_sink(sink.clone());
+    let out = f();
+    telemetry::clear_sink();
+    (out, sink.take())
+}
+
+#[test]
+fn solo_golden_identical_with_live_sink() {
+    let app = registry::by_name("429.mcf").expect("registered");
+    let runner = Runner::new(RunnerConfig::test());
+    let (r, events) = with_sink(|| runner.run_solo(&app, 4, 12));
+    let got = format!("cycles={} {}", r.cycles, fingerprint(&r.counters));
+    assert_eq!(got, GOLDEN_SOLO, "telemetry perturbed the solo run");
+    // The sink must actually have been live: a run span plus the
+    // feature-gated tallies snapshot.
+    assert!(events.iter().any(|e| e.name == "runner.run" && e.kind == EventKind::Begin));
+    let tallies = events.iter().find(|e| e.name == "sim.tallies").expect("tallies snapshot");
+    // Tallies must agree with the architectural counters they mirror.
+    assert_eq!(
+        tallies.get("llc_misses"),
+        Some(&waypart::telemetry::FieldValue::U64(r.counters.llc_misses))
+    );
+}
+
+#[test]
+fn pair_golden_identical_with_live_sink() {
+    let fg = registry::by_name("canneal").expect("registered");
+    let bg = registry::by_name("462.libquantum").expect("registered");
+    let runner = Runner::new(RunnerConfig::test());
+    let (r, events) =
+        with_sink(|| runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 }));
+    let got = format!(
+        "fg_cycles={} bg_i={} {}",
+        r.fg_cycles,
+        r.bg_instructions,
+        fingerprint(&r.fg_counters)
+    );
+    assert_eq!(got, GOLDEN_PAIR, "telemetry perturbed the pair run");
+    assert!(events.iter().any(|e| e.name == "runner.run" && e.kind == EventKind::End));
+}
+
+#[test]
+fn dynamic_run_identical_with_and_without_sink() {
+    // The dynamic controller is the most heavily instrumented path
+    // (dyn.decision on every window). Run it bare, then with a sink, and
+    // require bit-identical results — trace, counters, everything Debug
+    // reaches.
+    let fg = registry::by_name("429.mcf").expect("registered");
+    let bg = registry::by_name("swaptions").expect("registered");
+    let runner = Runner::new(RunnerConfig::test());
+    let bare = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
+    let (observed, events) = with_sink(|| runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper()));
+    assert_eq!(format!("{bare:?}"), format!("{observed:?}"), "sink changed the dynamic run");
+    let decisions = events.iter().filter(|e| e.name == "dyn.decision").count();
+    let reallocs = events.iter().filter(|e| e.name == "dyn.realloc").count();
+    assert!(decisions > 0, "controller emitted no decisions");
+    assert_eq!(reallocs as u64, observed.reallocations, "one dyn.realloc per reallocation");
+}
