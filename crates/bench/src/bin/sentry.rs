@@ -1,0 +1,174 @@
+//! Noise-aware perf-regression sentry over `BENCH_history.jsonl`.
+//!
+//! ```text
+//! sentry --history BENCH_history.jsonl [--metric KEY]...
+//!        [--current FILE.json] [--noise 0.10] [--z 3.0]
+//! ```
+//!
+//! Each history line is one benchmarking session's JSON record (the
+//! `BENCH_sim.json` object plus `at`/`rev`, appended by
+//! `scripts/bench.sh`). For every `--metric` (default
+//! `current_median_s` and `engine_ns_per_access`; higher = worse) the
+//! sentry compares the newest measurement against the older history
+//! using the median + MAD rule in [`waypart_bench::sentry`], calibrated
+//! to the environment's ±10% wall-clock noise. Without `--current`, the
+//! last history line is the measurement and the earlier lines are the
+//! history.
+//!
+//! Exits nonzero only when some metric regresses beyond the noise band;
+//! missing metrics and short histories pass with a note, so the check is
+//! safe to wire into CI from the very first run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use waypart_bench::sentry::{judge, Verdict, DEFAULT_NOISE_FRAC, DEFAULT_Z, MIN_HISTORY};
+use waypart_telemetry::schema::{parse_json, Json};
+
+/// Pulls a finite numeric metric out of one parsed history record.
+fn metric_value(record: &Json, key: &str) -> Option<f64> {
+    match record.get(key) {
+        Some(Json::Num { value, .. }) if value.is_finite() => Some(*value),
+        _ => None,
+    }
+}
+
+fn parse_history(text: &str, path: &str) -> Result<Vec<Json>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = parse_json(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        records.push(j);
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let mut history_path: Option<PathBuf> = None;
+    let mut current_path: Option<PathBuf> = None;
+    let mut metrics: Vec<String> = Vec::new();
+    let mut noise = DEFAULT_NOISE_FRAC;
+    let mut z = DEFAULT_Z;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--history" => {
+                history_path = Some(PathBuf::from(args.next().expect("--history needs a path")))
+            }
+            "--current" => {
+                current_path = Some(PathBuf::from(args.next().expect("--current needs a path")))
+            }
+            "--metric" => metrics.push(args.next().expect("--metric needs a key")),
+            "--noise" => {
+                noise = args
+                    .next()
+                    .expect("--noise needs a fraction")
+                    .parse()
+                    .expect("--noise must be a number")
+            }
+            "--z" => z = args.next().expect("--z needs a value").parse().expect("--z must be a number"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sentry --history BENCH_history.jsonl [--metric KEY]... \
+                     [--current FILE.json] [--noise {DEFAULT_NOISE_FRAC}] [--z {DEFAULT_Z}]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let history_path = match history_path {
+        Some(p) => p,
+        None => {
+            eprintln!("--history is required (see --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if metrics.is_empty() {
+        metrics = vec!["current_median_s".to_string(), "engine_ns_per_access".to_string()];
+    }
+
+    let text = match std::fs::read_to_string(&history_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: cannot read: {e}", history_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = match parse_history(&text, &history_path.display().to_string()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The measurement under judgment: an explicit --current file, or the
+    // newest history line (removed from the history it is judged against).
+    let current = match &current_path {
+        Some(p) => {
+            let t = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{}: cannot read: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_json(t.trim()) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{}: invalid JSON: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match records.pop() {
+            Some(j) => j,
+            None => {
+                eprintln!("{}: empty history, nothing to judge", history_path.display());
+                return ExitCode::SUCCESS;
+            }
+        },
+    };
+
+    let mut regressed = false;
+    for key in &metrics {
+        let cur = match metric_value(&current, key) {
+            Some(v) => v,
+            None => {
+                println!("{key}: SKIP (metric absent from current measurement)");
+                continue;
+            }
+        };
+        let hist: Vec<f64> = records.iter().filter_map(|r| metric_value(r, key)).collect();
+        match judge(&hist, cur, noise, z) {
+            Verdict::Pass { median, threshold } => println!(
+                "{key}: PASS current {cur:.3} vs median {median:.3} (threshold {threshold:.3}, \
+                 n={})",
+                hist.len()
+            ),
+            Verdict::InsufficientHistory { have } => println!(
+                "{key}: PASS (only {have} history entries, need {MIN_HISTORY} — recording, not judging)"
+            ),
+            Verdict::Regression { median, threshold, excess_frac } => {
+                regressed = true;
+                println!(
+                    "{key}: REGRESSION current {cur:.3} is {:+.1}% over median {median:.3} \
+                     (threshold {threshold:.3}, n={})",
+                    excess_frac * 100.0,
+                    hist.len()
+                );
+            }
+        }
+    }
+    if regressed {
+        eprintln!("perf sentry: regression beyond the ±{:.0}% noise band", noise * 100.0);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

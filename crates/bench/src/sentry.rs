@@ -1,0 +1,162 @@
+//! Noise-aware perf-regression judgment for the `sentry` binary.
+//!
+//! `scripts/bench.sh` appends one JSON record per benchmarking session to
+//! `BENCH_history.jsonl`; the sentry compares the newest measurement
+//! against that history. Wall-clock on shared machines is noisy (±10%
+//! run-to-run even with the script's interleaved A/B medians — see
+//! DESIGN.md §5d), so single-run deltas are meaningless. The judge
+//! instead:
+//!
+//! 1. takes the **median** of the history as the expected value (robust
+//!    to the odd outlier session),
+//! 2. estimates spread with the **MAD** (median absolute deviation),
+//!    scaled by 1.4826 to a normal-equivalent sigma, and
+//! 3. flags a regression only when the current value exceeds
+//!    `median + max(noise_frac × median, z × 1.4826 × MAD)` — i.e. the
+//!    deviation must clear *both* the documented noise floor and a
+//!    z-score band from the measured spread.
+//!
+//! With the defaults (`noise_frac` 0.10, `z` 3.0) a +25% runtime
+//! regression is flagged while ±8% jitter passes, and a history whose
+//! own spread exceeds 10% widens the band instead of producing flaky
+//! failures.
+
+/// Conversion from MAD to a normal-equivalent standard deviation.
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Default noise floor: the ±10% wall-clock noise documented for this
+/// benchmark environment.
+pub const DEFAULT_NOISE_FRAC: f64 = 0.10;
+
+/// Default z-score band width.
+pub const DEFAULT_Z: f64 = 3.0;
+
+/// Histories shorter than this cannot estimate spread; the judge passes
+/// with a note instead of guessing.
+pub const MIN_HISTORY: usize = 3;
+
+/// Median of `values` (not required sorted). Returns `None` when empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite benchmark values"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 })
+}
+
+/// Median absolute deviation around the median. `None` when empty.
+pub fn mad(values: &[f64]) -> Option<f64> {
+    let m = median(values)?;
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+/// The outcome of judging one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the noise band.
+    Pass {
+        /// History median.
+        median: f64,
+        /// The threshold the current value stayed under.
+        threshold: f64,
+    },
+    /// Beyond the noise band — a real regression.
+    Regression {
+        /// History median.
+        median: f64,
+        /// The threshold the current value exceeded.
+        threshold: f64,
+        /// Fractional excess over the median (0.25 = +25%).
+        excess_frac: f64,
+    },
+    /// Not enough history to judge; treated as a pass.
+    InsufficientHistory {
+        /// Entries available (< [`MIN_HISTORY`]).
+        have: usize,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict should fail the build.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+}
+
+/// Judges `current` against `history` (higher = worse, e.g. seconds or
+/// ns/access). See the module docs for the decision rule.
+pub fn judge(history: &[f64], current: f64, noise_frac: f64, z: f64) -> Verdict {
+    if history.len() < MIN_HISTORY {
+        return Verdict::InsufficientHistory { have: history.len() };
+    }
+    let med = median(history).expect("non-empty history");
+    let spread = mad(history).expect("non-empty history") * MAD_TO_SIGMA;
+    let band = (noise_frac * med).max(z * spread);
+    let threshold = med + band;
+    if current > threshold {
+        Verdict::Regression { median: med, threshold, excess_frac: current / med - 1.0 }
+    } else {
+        Verdict::Pass { median: med, threshold }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), Some(0.0));
+        // {1,2,3,4,9}: median 3, deviations {2,1,0,1,6} → MAD 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 9.0]), Some(1.0));
+    }
+
+    #[test]
+    fn short_history_passes_with_note() {
+        let v = judge(&[5.0, 5.1], 100.0, DEFAULT_NOISE_FRAC, DEFAULT_Z);
+        assert_eq!(v, Verdict::InsufficientHistory { have: 2 });
+        assert!(!v.is_regression());
+    }
+
+    #[test]
+    fn plus_25_percent_is_flagged() {
+        // Tight history around 100 with realistic ±3% scatter.
+        let history = [98.0, 100.0, 101.0, 99.5, 100.5, 102.0];
+        let v = judge(&history, 125.0, DEFAULT_NOISE_FRAC, DEFAULT_Z);
+        assert!(v.is_regression(), "{v:?}");
+        if let Verdict::Regression { excess_frac, .. } = v {
+            assert!(excess_frac > 0.2, "excess {excess_frac}");
+        }
+    }
+
+    #[test]
+    fn plus_minus_8_percent_jitter_passes() {
+        let history = [98.0, 100.0, 101.0, 99.5, 100.5, 102.0];
+        for jitter in [0.92, 0.95, 1.0, 1.05, 1.08] {
+            let v = judge(&history, 100.0 * jitter, DEFAULT_NOISE_FRAC, DEFAULT_Z);
+            assert!(!v.is_regression(), "jitter {jitter} flagged: {v:?}");
+        }
+    }
+
+    #[test]
+    fn noisy_history_widens_the_band() {
+        // Spread so large that 3·1.4826·MAD > 10% of the median: a +15%
+        // excursion is indistinguishable from this history's own scatter.
+        let history = [80.0, 95.0, 100.0, 105.0, 120.0, 90.0, 110.0];
+        let v = judge(&history, 115.0, DEFAULT_NOISE_FRAC, DEFAULT_Z);
+        assert!(!v.is_regression(), "{v:?}");
+    }
+
+    #[test]
+    fn improvement_never_flags() {
+        let history = [100.0, 101.0, 99.0, 100.0];
+        assert!(!judge(&history, 50.0, DEFAULT_NOISE_FRAC, DEFAULT_Z).is_regression());
+    }
+}

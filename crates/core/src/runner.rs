@@ -56,8 +56,50 @@ fn run_span_end(machine: &Machine, quanta: u64, reallocations: u64) {
         }
         ev
     });
+    // Per-level latency percentiles from the hierarchy's histograms.
+    // Event fields are scalar-only, so each level gets its own instant.
+    #[cfg(feature = "telemetry")]
+    for level in waypart_sim::hierarchy::HitLevel::all() {
+        telemetry::emit_with(|| {
+            let h = &machine.latency_hists()[level.index()];
+            Event::instant("sim.latency", Stamp::Cycles(machine.now()))
+                .field("level", level.name())
+                .field("count", h.count())
+                .field("min", h.min())
+                .field("p50", h.p50())
+                .field("p90", h.p90())
+                .field("p99", h.p99())
+                .field("max", h.max())
+                .field("mean", h.mean())
+        });
+    }
     #[cfg(not(feature = "telemetry"))]
     let _ = machine;
+}
+
+/// Emits one `sim.occupancy` counter describing who holds the LLC right
+/// now: per-core resident line counts plus the current way split. Fired
+/// once per closed sampling window of a dynamically-observed pair run —
+/// the machine-readable form of the paper's Fig 12 occupancy timeline.
+/// Pure observation (reads only), so it needs no feature gate: without a
+/// sink the closure never runs.
+fn emit_occupancy(machine: &Machine) {
+    /// Field keys for up to 8 cores (the sim tops out at 4 + SMT).
+    const OCC_KEYS: [&str; 8] =
+        ["occ_c0", "occ_c1", "occ_c2", "occ_c3", "occ_c4", "occ_c5", "occ_c6", "occ_c7"];
+    telemetry::emit_with(|| {
+        let cfg = machine.config();
+        let cores = cfg.cores.min(OCC_KEYS.len());
+        let llc_lines = (cfg.llc.size_bytes / cfg.llc.line_bytes) as u64;
+        let mut ev = Event::counter("sim.occupancy", Stamp::Cycles(machine.now()))
+            .field("llc_lines", llc_lines)
+            .field("fg_ways", machine.way_mask(0).count() as u64)
+            .field("total_ways", cfg.llc.ways as u64);
+        for (core, key) in OCC_KEYS.iter().enumerate().take(cores) {
+            ev = ev.field(*key, machine.llc_occupancy_of(core) as u64);
+        }
+        ev
+    });
 }
 
 /// Foreground address-space id.
@@ -395,6 +437,7 @@ impl Runner {
                     }
                     ways_trace.push((machine.now(), fgm.count()));
                 }
+                emit_occupancy(&machine);
             }
             quanta += 1;
         }

@@ -1,0 +1,602 @@
+//! Offline occupancy dashboard: folds a JSONL trace (and optionally a
+//! metrics JSON) from `reproduce` into ONE self-contained static HTML
+//! file — inline SVG sparklines, an LLC-occupancy heatmap (cores × time),
+//! per-level latency-percentile tables, and a paper-delta table against
+//! the headline numbers of §6.3. No JavaScript, no stylesheets, no
+//! external references of any kind: the file renders from `file://` on an
+//! air-gapped machine.
+//!
+//! ```text
+//! report --trace PATH.jsonl [--metrics PATH.json] [--out report.html]
+//! report --check report.html
+//! ```
+//!
+//! `--check` validates a generated report instead of building one:
+//! balanced structural tags, a non-empty occupancy heatmap
+//! (`data-cells` > 0), and the absence of URL-shaped strings or script
+//! tags. Exits nonzero on the first violation; used by `scripts/ci.sh`.
+//!
+//! Cache-warm traces (a `reproduce` rerun that replayed everything from
+//! `results/cache/`) carry `dyn.run` summaries but no `runner.run` spans
+//! or `sim.*` events; the report then shows an explicit "replayed from
+//! cache" banner and per-panel placeholders rather than empty plots.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use waypart_experiments::report::Table;
+use waypart_experiments::viz::{html_escape, svg_heatmap, svg_sparkline};
+use waypart_telemetry::schema::{parse_json, Json};
+
+/// Numeric field accessor.
+fn num(j: &Json, key: &str) -> Option<f64> {
+    match j.get(key) {
+        Some(Json::Num { value, .. }) => Some(*value),
+        _ => None,
+    }
+}
+
+/// String field accessor.
+fn text(j: &Json, key: &str) -> Option<String> {
+    match j.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// One `sim.occupancy` window: per-core resident LLC lines plus the
+/// current foreground way split.
+struct OccWindow {
+    per_core: Vec<f64>,
+    fg_ways: f64,
+}
+
+/// One `sim.latency` per-level summary (cumulative over a run).
+#[derive(Clone)]
+struct LatencyRow {
+    count: f64,
+    min: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+    mean: f64,
+}
+
+/// Everything the dashboard reads out of the trace.
+#[derive(Default)]
+struct TraceData {
+    total_lines: u64,
+    /// `runner.run` begins: (tid, kind, fg, bg).
+    runs: Vec<(u32, String, String, String)>,
+    /// `sim.occupancy` windows per sim track.
+    occupancy: BTreeMap<u32, Vec<OccWindow>>,
+    /// Best (highest-count) `sim.latency` summary per level name.
+    latency: BTreeMap<String, LatencyRow>,
+    /// `headline.summary` fields, if the headline artifact ran.
+    headline: Option<Vec<(String, f64)>>,
+    /// `figure.run` end events: (figure, seconds).
+    figure_secs: Vec<(String, f64)>,
+    /// `dyn.run` summaries (fire even on a warm cache).
+    dyn_runs: u64,
+    /// Aggregate `{"record":"series"}` lines: (name, tid, values).
+    series: Vec<(String, u32, Vec<f64>)>,
+    /// Fallback per-track MPKI from raw `perfmon.window` counters.
+    raw_mpki: BTreeMap<u32, Vec<f64>>,
+}
+
+impl TraceData {
+    /// A fully-warm trace: results were served from the run cache, so no
+    /// simulation events exist to plot.
+    fn is_cache_warm(&self) -> bool {
+        self.runs.is_empty() && self.dyn_runs > 0
+    }
+}
+
+fn parse_trace(text_body: &str) -> Result<TraceData, String> {
+    let mut d = TraceData::default();
+    for (i, line) in text_body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        d.total_lines += 1;
+        if j.get("record").is_some() {
+            if text(&j, "record").as_deref() == Some("series") {
+                if let (Some(name), Some(tid), Some(Json::Arr(pts))) =
+                    (text(&j, "name"), num(&j, "tid"), j.get("points"))
+                {
+                    let values = pts
+                        .iter()
+                        .filter_map(|p| match p {
+                            Json::Arr(pair) if pair.len() == 2 => match &pair[1] {
+                                Json::Num { value, .. } => Some(*value),
+                                _ => None,
+                            },
+                            _ => None,
+                        })
+                        .collect();
+                    d.series.push((name, tid as u32, values));
+                }
+            }
+            continue;
+        }
+        let (name, kind) = match (text(&j, "name"), text(&j, "kind")) {
+            (Some(n), Some(k)) => (n, k),
+            _ => continue,
+        };
+        let tid = num(&j, "tid").unwrap_or(0.0) as u32;
+        match (name.as_str(), kind.as_str()) {
+            ("runner.run", "begin") => {
+                d.runs.push((tid, field_str(&j, "kind"), field_str(&j, "fg"), field_str(&j, "bg")))
+            }
+            ("sim.occupancy", "counter") => {
+                if let Some(Json::Obj(fields)) = j.get("fields") {
+                    let mut per_core = Vec::new();
+                    for core in 0..8 {
+                        match fields.iter().find(|(k, _)| k == &format!("occ_c{core}")) {
+                            Some((_, Json::Num { value, .. })) => per_core.push(*value),
+                            _ => break,
+                        }
+                    }
+                    let fg_ways = fields
+                        .iter()
+                        .find(|(k, _)| k == "fg_ways")
+                        .and_then(|(_, v)| match v {
+                            Json::Num { value, .. } => Some(*value),
+                            _ => None,
+                        })
+                        .unwrap_or(0.0);
+                    d.occupancy.entry(tid).or_default().push(OccWindow { per_core, fg_ways });
+                }
+            }
+            ("sim.latency", "instant") => {
+                if let Some(Json::Obj(fields)) = j.get("fields") {
+                    let f = |key: &str| {
+                        fields
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .and_then(|(_, v)| match v {
+                                Json::Num { value, .. } => Some(*value),
+                                _ => None,
+                            })
+                            .unwrap_or(0.0)
+                    };
+                    let level = fields
+                        .iter()
+                        .find(|(k, _)| k == "level")
+                        .and_then(|(_, v)| match v {
+                            Json::Str(s) => Some(s.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| "?".into());
+                    let row = LatencyRow {
+                        count: f("count"),
+                        min: f("min"),
+                        p50: f("p50"),
+                        p90: f("p90"),
+                        p99: f("p99"),
+                        max: f("max"),
+                        mean: f("mean"),
+                    };
+                    if row.count > 0.0 {
+                        let keep = d
+                            .latency
+                            .get(&level)
+                            .map(|prev| row.count > prev.count)
+                            .unwrap_or(true);
+                        if keep {
+                            d.latency.insert(level, row);
+                        }
+                    }
+                }
+            }
+            ("headline.summary", "instant") => {
+                if let Some(Json::Obj(fields)) = j.get("fields") {
+                    d.headline = Some(
+                        fields
+                            .iter()
+                            .filter_map(|(k, v)| match v {
+                                Json::Num { value, .. } => Some((k.clone(), *value)),
+                                _ => None,
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            ("figure.run", "end") => {
+                if let Some(secs) = field_num(&j, "seconds") {
+                    d.figure_secs.push((field_str(&j, "figure"), secs));
+                }
+            }
+            ("dyn.run", "instant") => d.dyn_runs += 1,
+            ("perfmon.window", "counter") => {
+                if let Some(mpki) = field_num(&j, "mpki") {
+                    d.raw_mpki.entry(tid).or_default().push(mpki);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(d)
+}
+
+/// String field from inside an event's `fields` object.
+fn field_str(j: &Json, key: &str) -> String {
+    match j.get("fields").and_then(|f| f.get(key)) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Number field from inside an event's `fields` object.
+fn field_num(j: &Json, key: &str) -> Option<f64> {
+    match j.get("fields").and_then(|f| f.get(key)) {
+        Some(Json::Num { value, .. }) => Some(*value),
+        _ => None,
+    }
+}
+
+/// The paper's headline values, keyed by the `headline.summary` field
+/// names (§1/§6.3/§8 of Cook et al.).
+const PAPER_HEADLINE: [(&str, &str, &str); 11] = [
+    ("shared_avg_slowdown", "shared avg fg slowdown", "+6%"),
+    ("shared_worst_slowdown", "shared worst fg slowdown", "+34.5%"),
+    ("biased_avg_slowdown", "biased avg fg slowdown", "+2.3%"),
+    ("biased_worst_slowdown", "biased worst fg slowdown", "+7.4%"),
+    ("shared_energy", "shared rel. energy", "0.90"),
+    ("biased_energy", "biased rel. energy", "0.88"),
+    ("shared_speedup", "shared weighted speedup", "1.54"),
+    ("biased_speedup", "biased weighted speedup", "1.60"),
+    ("dynamic_bg_gain", "dynamic bg gain vs best static", "1.19x"),
+    ("dynamic_bg_peak", "dynamic bg peak gain", "~2.5x"),
+    ("dynamic_fg_penalty", "dynamic fg penalty", "<= +2%"),
+];
+
+fn panel(title: &str, body: String) -> String {
+    format!("<div class=\"panel\"><h2>{}</h2>{}</div>", html_escape(title), body)
+}
+
+fn placeholder(msg: &str) -> String {
+    format!("<p class=\"placeholder\">{}</p>", html_escape(msg))
+}
+
+fn build_html(d: &TraceData, metrics: Option<&Json>, trace_path: &str) -> String {
+    let mut body = String::new();
+
+    // ---- header + provenance
+    let scale = metrics.and_then(|m| text(m, "scale")).unwrap_or_else(|| "?".into());
+    body.push_str(&format!(
+        "<h1>waypart run report</h1><p class=\"meta\">trace: <code>{}</code> \
+         &middot; scale: <code>{}</code> &middot; {} trace lines, {} runs, {} controller summaries</p>",
+        html_escape(trace_path),
+        html_escape(&scale),
+        d.total_lines,
+        d.runs.len(),
+        d.dyn_runs,
+    ));
+    if d.is_cache_warm() {
+        body.push_str(
+            "<div class=\"banner\">replayed from cache &mdash; this reproduction was served \
+             entirely by the persistent run cache, so no simulation-level events (occupancy, \
+             latency, counter windows) were generated. Rerun with <code>--no-cache</code> for \
+             the full dashboard.</div>",
+        );
+    }
+
+    // ---- run inventory
+    let mut kind_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (_, kind, _, _) in &d.runs {
+        *kind_counts.entry(kind.clone()).or_default() += 1;
+    }
+    let runs_body = if d.runs.is_empty() {
+        placeholder("no runner.run spans in this trace")
+    } else {
+        let mut t = Table::new(["run kind", "count"]);
+        for (kind, n) in &kind_counts {
+            t.push([kind.clone(), n.to_string()]);
+        }
+        t.render_html()
+    };
+    body.push_str(&panel("Simulated runs", runs_body));
+
+    // ---- MPKI / IPC sparklines (aggregate series preferred, raw fallback)
+    let mut spark_rows: Vec<(String, u32, &Vec<f64>)> = d
+        .series
+        .iter()
+        .filter(|(name, _, values)| {
+            values.len() >= 2 && (name.ends_with(".mpki") || name.ends_with(".ipc"))
+        })
+        .map(|(name, tid, values)| (name.clone(), *tid, values))
+        .collect();
+    spark_rows.sort_by(|a, b| b.2.len().cmp(&a.2.len()).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let raw_rows: Vec<(String, u32, &Vec<f64>)> = if spark_rows.is_empty() {
+        d.raw_mpki
+            .iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .map(|(tid, v)| ("perfmon.window.mpki".to_string(), *tid, v))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let all_rows: Vec<&(String, u32, &Vec<f64>)> =
+        spark_rows.iter().chain(raw_rows.iter()).take(12).collect();
+    let spark_body = if all_rows.is_empty() {
+        placeholder("no counter-window series in this trace")
+    } else {
+        let mut html = String::from("<table><thead><tr><th>series</th><th>track</th>\
+             <th>windows</th><th>mean</th><th>trend</th></tr></thead><tbody>");
+        for (name, tid, values) in all_rows {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            html.push_str(&format!(
+                "<tr><td>{}</td><td>{tid}</td><td>{}</td><td>{mean:.2}</td><td>{}</td></tr>",
+                html_escape(name),
+                values.len(),
+                svg_sparkline(values, 220, 24),
+            ));
+        }
+        html.push_str("</tbody></table>");
+        html
+    };
+    body.push_str(&panel("Counter windows (MPKI / IPC)", spark_body));
+
+    // ---- occupancy heatmap: showcase the track with the most windows
+    let showcase = d.occupancy.iter().max_by_key(|(_, w)| w.len());
+    let occ_body = match showcase {
+        Some((tid, windows)) if !windows.is_empty() => {
+            let cores = windows.iter().map(|w| w.per_core.len()).max().unwrap_or(0);
+            let labels: Vec<String> = (0..cores).map(|c| format!("core{c}")).collect();
+            let matrix: Vec<Vec<f64>> = (0..cores)
+                .map(|c| {
+                    windows.iter().map(|w| w.per_core.get(c).copied().unwrap_or(f64::NAN)).collect()
+                })
+                .collect();
+            let fg_ways: Vec<f64> = windows.iter().map(|w| w.fg_ways).collect();
+            format!(
+                "<p>track {tid}, {} sampling windows; cell = LLC lines held by the core's fills \
+                 (Fig 12's occupancy timeline, machine-readable). Foreground way allocation over \
+                 the same windows: {}</p>{}",
+                windows.len(),
+                svg_sparkline(&fg_ways, 260, 24),
+                svg_heatmap(&labels, &matrix, 6, 18),
+            )
+        }
+        _ => placeholder(
+            "no sim.occupancy windows — occupancy is emitted by dynamically-observed pair runs \
+             (fig12/fig13) on cold simulations",
+        ),
+    };
+    body.push_str(&panel("LLC occupancy heatmap", occ_body));
+
+    // ---- latency percentiles
+    let lat_body = if d.latency.is_empty() {
+        placeholder(
+            "no sim.latency summaries — build with `--features telemetry` and run cold to \
+             collect per-access latency histograms",
+        )
+    } else {
+        let mut t = Table::new(["level", "accesses", "min", "p50", "p90", "p99", "max", "mean"]);
+        for level in ["l1", "l2", "llc", "dram", "bypass"] {
+            if let Some(r) = d.latency.get(level) {
+                t.push([
+                    level.to_string(),
+                    format!("{:.0}", r.count),
+                    format!("{:.0}", r.min),
+                    format!("{:.0}", r.p50),
+                    format!("{:.0}", r.p90),
+                    format!("{:.0}", r.p99),
+                    format!("{:.0}", r.max),
+                    format!("{:.1}", r.mean),
+                ]);
+            }
+        }
+        format!("<p>per-access latency in cycles, by satisfying level (largest run kept)</p>{}", t.render_html())
+    };
+    body.push_str(&panel("Access latency percentiles", lat_body));
+
+    // ---- paper delta
+    let delta_body = match &d.headline {
+        Some(measured) => {
+            let lookup: BTreeMap<&str, f64> =
+                measured.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let mut t = Table::new(["metric", "paper", "measured"]);
+            for (key, label, paper) in PAPER_HEADLINE {
+                let shown = match lookup.get(key) {
+                    Some(v) if key.contains("slowdown") || key.contains("penalty") => {
+                        format!("{:+.1}%", (v - 1.0) * 100.0)
+                    }
+                    Some(v) if key.contains("gain") || key.contains("peak") => format!("{v:.2}x"),
+                    Some(v) => format!("{v:.3}"),
+                    None => "—".to_string(),
+                };
+                t.push([label.to_string(), paper.to_string(), shown]);
+            }
+            t.render_html()
+        }
+        None => placeholder(
+            "no headline.summary event — include the `headline` artifact in the reproduce \
+             invocation to populate the paper-delta table",
+        ),
+    };
+    body.push_str(&panel("Paper delta (§6.3 headline numbers)", delta_body));
+
+    // ---- figure timings + cache traffic
+    let mut timing_body = if d.figure_secs.is_empty() {
+        placeholder("no figure.run spans in this trace")
+    } else {
+        let mut t = Table::new(["artifact", "seconds"]);
+        for (fig, secs) in &d.figure_secs {
+            t.push([fig.clone(), format!("{secs:.2}")]);
+        }
+        t.render_html()
+    };
+    if let Some(m) = metrics {
+        if let Some(cache) = m.get("cache") {
+            let g = |k: &str| num(cache, k).unwrap_or(0.0);
+            timing_body.push_str(&format!(
+                "<p>run cache: {:.0} memory hits, {:.0} disk hits, {:.0} misses \
+                 (hit ratio {:.2}), {:.0} bytes read / {:.0} written</p>",
+                g("mem_hits"),
+                g("disk_hits"),
+                g("misses"),
+                g("hit_ratio"),
+                g("bytes_read"),
+                g("bytes_written"),
+            ));
+        }
+    }
+    body.push_str(&panel("Harness timing & cache", timing_body));
+
+    format!(
+        "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>waypart run report</title><style>{STYLE}</style></head>\
+         <body>{body}</body></html>"
+    )
+}
+
+/// Inline stylesheet — the report's only styling, embedded so the file
+/// has zero external references.
+const STYLE: &str = "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:70em;\
+color:#111}h1{font-size:1.5em}h2{font-size:1.1em;margin:0 0 .5em}\
+.meta{color:#555}.panel{border:1px solid #ddd;border-radius:6px;padding:1em;margin:1em 0}\
+.banner{background:#fef3c7;border:1px solid #d97706;border-radius:6px;padding:.8em;margin:1em 0}\
+.placeholder{color:#777;font-style:italic}table{border-collapse:collapse}\
+th,td{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-size:.9em}\
+th{background:#f3f4f6}code{background:#f3f4f6;padding:0 .2em}";
+
+// --------------------------------------------------------------- checking
+
+/// Structural tags that must balance exactly in a well-formed report.
+const BALANCED_TAGS: [&str; 8] = ["html", "head", "body", "div", "table", "thead", "tbody", "svg"];
+
+/// Validates a generated report: balanced tags, non-empty heatmap, no
+/// external references. Returns human-readable violations.
+fn check_report(html: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    for tag in BALANCED_TAGS {
+        // Opening tags count `<tag` followed by a delimiter so `<table`
+        // does not match `<tbody` etc.
+        let opens = html
+            .match_indices(&format!("<{tag}"))
+            .filter(|(i, _)| {
+                matches!(html.as_bytes().get(i + 1 + tag.len()), Some(b' ' | b'>' | b'\t'))
+            })
+            .count();
+        let closes = html.matches(&format!("</{tag}>")).count();
+        if opens != closes {
+            violations.push(format!("unbalanced <{tag}>: {opens} opened, {closes} closed"));
+        }
+    }
+    // The occupancy heatmap must have rendered actual cells.
+    let heatmap_cells: u64 = html
+        .match_indices("data-cells=\"")
+        .filter_map(|(i, pat)| {
+            let rest = &html[i + pat.len()..];
+            rest.split('"').next().and_then(|n| n.parse::<u64>().ok())
+        })
+        .sum();
+    if heatmap_cells == 0 {
+        violations.push("occupancy heatmap is empty (no data-cells rendered)".to_string());
+    }
+    for banned in ["http://", "https://", "<script", "<link", "@import"] {
+        if html.contains(banned) {
+            violations.push(format!("external reference or script: found `{banned}`"));
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut out = PathBuf::from("report.html");
+    let mut check: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace = Some(PathBuf::from(args.next().expect("--trace needs a path"))),
+            "--metrics" => {
+                metrics = Some(PathBuf::from(args.next().expect("--metrics needs a path")))
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--check" => check = Some(PathBuf::from(args.next().expect("--check needs a path"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: report --trace PATH.jsonl [--metrics PATH.json] [--out report.html]\n\
+                     \u{20}      report --check report.html"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let html = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: cannot read: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = check_report(&html);
+        if violations.is_empty() {
+            println!("{}: OK (well-formed, self-contained)", path.display());
+            return ExitCode::SUCCESS;
+        }
+        for v in &violations {
+            eprintln!("{}: {v}", path.display());
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let trace = match trace {
+        Some(t) => t,
+        None => {
+            eprintln!("--trace is required (see --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text_body = match std::fs::read_to_string(&trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: cannot read: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match parse_trace(&text_body) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{}: invalid trace: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics_doc = metrics.as_ref().and_then(|p| {
+        let t = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("{}: cannot read: {e}", p.display()));
+        match parse_json(t.trim()) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("{}: ignoring unparseable metrics: {e}", p.display());
+                None
+            }
+        }
+    });
+    let html = build_html(&data, metrics_doc.as_ref(), &trace.display().to_string());
+    if let Err(e) = std::fs::write(&out, &html) {
+        eprintln!("{}: cannot write: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "report written to {} ({} bytes, {} trace lines{})",
+        out.display(),
+        html.len(),
+        data.total_lines,
+        if data.is_cache_warm() { ", cache-warm" } else { "" },
+    );
+    ExitCode::SUCCESS
+}

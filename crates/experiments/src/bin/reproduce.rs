@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use waypart_core::runner::RunnerConfig;
 use waypart_experiments::*;
-use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink};
+use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink, SeriesSink};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
 
 /// Wraps each artifact's computation in a wall-stamped `figure.run` span
@@ -142,6 +142,16 @@ fn main() {
         Some(m)
     } else {
         None
+    };
+    // Fold the event stream into named series/histograms in-process; the
+    // aggregate records are appended to JSONL traces at the end so the
+    // `report` dashboard gets pre-downsampled data alongside raw events.
+    let series = if sinks.is_empty() {
+        None
+    } else {
+        let s = Arc::new(SeriesSink::new());
+        sinks.push(s.clone());
+        Some(s)
     };
     if !sinks.is_empty() {
         telemetry::set_sink(Arc::new(MultiSink::new(sinks)));
@@ -313,6 +323,21 @@ fn main() {
     }
     if let Some(sink) = telemetry::clear_sink() {
         sink.flush();
+        // JSONL traces carry the aggregated series/hist records after the
+        // event lines (mixed files validate; see the schema module docs).
+        if let Some(series) = &series {
+            let records = series.render_jsonl();
+            if !records.is_empty() {
+                for path in trace_paths.iter().filter(|p| p.extension().is_some_and(|e| e == "jsonl")) {
+                    use std::io::Write;
+                    let mut f = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .expect("append aggregate records to --trace file");
+                    f.write_all(records.as_bytes()).expect("write aggregate records");
+                }
+            }
+        }
         for path in &trace_paths {
             println!("trace written to {}", path.display());
         }

@@ -47,7 +47,7 @@ pub fn run(fig9: &Fig9, fig10: &Fig10, fig11: &Fig11, fig13: &Fig13) -> Headline
     let (s10, _, b10) = fig10.stats();
     let (s11, _, b11) = fig11.stats();
     let (d13, _) = fig13.stats();
-    Headline {
+    let headline = Headline {
         shared_avg_slowdown: s9.mean,
         shared_worst_slowdown: s9.max,
         biased_avg_slowdown: b9.mean,
@@ -59,7 +59,27 @@ pub fn run(fig9: &Fig9, fig10: &Fig10, fig11: &Fig11, fig13: &Fig13) -> Headline
         dynamic_bg_gain: d13.mean,
         dynamic_bg_peak: d13.max,
         dynamic_fg_penalty: fig13.fg_penalty_stats().mean,
-    }
+    };
+    // One machine-readable summary event so the offline dashboard can
+    // rebuild the paper-delta table from the trace alone.
+    waypart_telemetry::emit_with(|| {
+        waypart_telemetry::Event::instant(
+            "headline.summary",
+            waypart_telemetry::Stamp::WallUs(waypart_telemetry::wall_now_us()),
+        )
+        .field("shared_avg_slowdown", headline.shared_avg_slowdown)
+        .field("shared_worst_slowdown", headline.shared_worst_slowdown)
+        .field("biased_avg_slowdown", headline.biased_avg_slowdown)
+        .field("biased_worst_slowdown", headline.biased_worst_slowdown)
+        .field("shared_energy", headline.shared_energy)
+        .field("biased_energy", headline.biased_energy)
+        .field("shared_speedup", headline.shared_speedup)
+        .field("biased_speedup", headline.biased_speedup)
+        .field("dynamic_bg_gain", headline.dynamic_bg_gain)
+        .field("dynamic_bg_peak", headline.dynamic_bg_peak)
+        .field("dynamic_fg_penalty", headline.dynamic_fg_penalty)
+    });
+    headline
 }
 
 impl Headline {

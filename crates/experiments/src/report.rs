@@ -33,6 +33,27 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Renders the table as a plain HTML `<table>` (header row in
+    /// `<thead>`, data in `<tbody>`), cells escaped — for the offline
+    /// dashboard.
+    pub fn render_html(&self) -> String {
+        use crate::viz::html_escape;
+        let mut out = String::from("<table><thead><tr>");
+        for h in &self.header {
+            out.push_str(&format!("<th>{}</th>", html_escape(h)));
+        }
+        out.push_str("</tr></thead><tbody>");
+        for row in &self.rows {
+            out.push_str("<tr>");
+            for cell in row {
+                out.push_str(&format!("<td>{}</td>", html_escape(cell)));
+            }
+            out.push_str("</tr>");
+        }
+        out.push_str("</tbody></table>");
+        out
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
@@ -99,6 +120,17 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(["a", "b"]);
         t.push(["only-one"]);
+    }
+
+    #[test]
+    fn renders_html_with_escaping() {
+        let mut t = Table::new(["metric", "value"]);
+        t.push(["fg<slowdown>", "+6%"]);
+        let html = t.render_html();
+        assert!(html.starts_with("<table><thead>"));
+        assert!(html.ends_with("</tbody></table>"));
+        assert!(html.contains("<th>metric</th>"));
+        assert!(html.contains("<td>fg&lt;slowdown&gt;</td>"));
     }
 
     #[test]

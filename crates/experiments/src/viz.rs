@@ -1,5 +1,8 @@
-//! Terminal visualization helpers: sparklines and shade maps for the
-//! figure renders (the closest a text artifact gets to the paper's plots).
+//! Visualization helpers: terminal sparklines and shade maps for the
+//! figure renders, plus inline-SVG builders for the offline HTML
+//! dashboard (`report` binary). Everything here emits self-contained
+//! markup — no scripts, no stylesheets, no external references — so a
+//! report file works from `file://` on an air-gapped machine.
 
 /// Unicode block characters from empty to full.
 const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -56,6 +59,114 @@ pub fn shade_map(labels: &[String], matrix: &[Vec<f64>]) -> String {
     out
 }
 
+// ------------------------------------------------------------- HTML / SVG
+
+/// Escapes `text` for HTML text and attribute contexts.
+pub fn html_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An inline SVG sparkline: one polyline over `values`, scaled to its
+/// own min/max. Empty input yields a fixed-size empty SVG.
+pub fn svg_sparkline(values: &[f64], width: u32, height: u32) -> String {
+    // No xmlns: inline SVG inside an HTML5 document needs none, and the
+    // report's self-containment check bans URL-shaped strings outright.
+    let mut svg = format!(
+        "<svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" role=\"img\">"
+    );
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() >= 2 {
+        let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(1e-12);
+        let (w, h) = (width as f64, height as f64);
+        let mut pts = String::new();
+        for (i, &v) in finite.iter().enumerate() {
+            let x = i as f64 / (finite.len() - 1) as f64 * (w - 2.0) + 1.0;
+            // SVG y grows downward; leave a 1px margin so the stroke
+            // survives at the extremes.
+            let y = (1.0 - (v - lo) / range) * (h - 2.0) + 1.0;
+            if i > 0 {
+                pts.push(' ');
+            }
+            pts.push_str(&format!("{x:.1},{y:.1}"));
+        }
+        svg.push_str(&format!(
+            "<polyline points=\"{pts}\" fill=\"none\" stroke=\"#2563eb\" stroke-width=\"1.5\"/>"
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Maps `t` in `[0, 1]` to a cold→hot hex color (dark blue → yellow).
+pub fn heat_color(t: f64) -> String {
+    let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+    // Piecewise ramp: navy → teal → yellow, readable on white.
+    let (r, g, b) = if t < 0.5 {
+        let u = t * 2.0;
+        (13.0 + u * (16.0 - 13.0), 42.0 + u * (150.0 - 42.0), 116.0 + u * (129.0 - 116.0))
+    } else {
+        let u = (t - 0.5) * 2.0;
+        (16.0 + u * (250.0 - 16.0), 150.0 + u * (204.0 - 150.0), 129.0 * (1.0 - u) + 21.0 * u)
+    };
+    format!("#{:02x}{:02x}{:02x}", r as u8, g as u8, b as u8)
+}
+
+/// An inline SVG heatmap: one `<rect>` per matrix cell, rows labeled on
+/// the left, values normalized to the global min/max. The root element
+/// carries `data-cells="N"` (non-empty rendered cells) so report
+/// well-formedness checks can assert the map actually has content.
+pub fn svg_heatmap(labels: &[String], matrix: &[Vec<f64>], cell_w: u32, cell_h: u32) -> String {
+    assert_eq!(labels.len(), matrix.len(), "one label per row");
+    let cols = matrix.iter().map(Vec::len).max().unwrap_or(0);
+    let label_w = 8 * labels.iter().map(|l| l.len()).max().unwrap_or(0) as u32 + 8;
+    let width = label_w + cols as u32 * cell_w;
+    let height = labels.len() as u32 * cell_h;
+    let finite: Vec<f64> = matrix.iter().flatten().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let mut cells = 0usize;
+    let mut body = String::new();
+    for (row, (label, values)) in labels.iter().zip(matrix).enumerate() {
+        let y = row as u32 * cell_h;
+        body.push_str(&format!(
+            "<text x=\"0\" y=\"{}\" font-size=\"11\" font-family=\"monospace\">{}</text>",
+            y + cell_h / 2 + 4,
+            html_escape(label)
+        ));
+        for (col, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let color = heat_color((v - lo) / range);
+            body.push_str(&format!(
+                "<rect x=\"{}\" y=\"{y}\" width=\"{cell_w}\" height=\"{cell_h}\" fill=\"{color}\">\
+                 <title>{}: {v:.1}</title></rect>",
+                label_w + col as u32 * cell_w,
+                html_escape(label),
+            ));
+            cells += 1;
+        }
+    }
+    format!(
+        "<svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" \
+         role=\"img\" data-cells=\"{cells}\">{body}</svg>"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +202,38 @@ mod tests {
         assert_eq!(out.lines().count(), 3);
         assert!(out.contains("scale:"));
         assert!(out.lines().next().unwrap().starts_with(" a ·"));
+    }
+
+    #[test]
+    fn html_escape_covers_specials() {
+        assert_eq!(html_escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&#39;c");
+    }
+
+    #[test]
+    fn svg_sparkline_is_balanced_and_offline() {
+        let svg = svg_sparkline(&[1.0, 3.0, 2.0], 100, 20);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("http"), "sparkline must not reference URLs");
+        // Degenerate inputs still close the element.
+        assert!(svg_sparkline(&[], 100, 20).ends_with("</svg>"));
+        assert!(!svg_sparkline(&[5.0], 100, 20).contains("polyline"));
+    }
+
+    #[test]
+    fn heat_color_endpoints_and_garbage() {
+        assert_eq!(heat_color(0.0), "#0d2a74");
+        assert_eq!(heat_color(1.0), "#facc15");
+        assert_eq!(heat_color(f64::NAN), heat_color(0.0));
+    }
+
+    #[test]
+    fn svg_heatmap_counts_cells() {
+        let labels = vec!["c0".to_string(), "c1".to_string()];
+        let m = vec![vec![0.0, 1.0, 2.0], vec![3.0, f64::NAN, 5.0]];
+        let svg = svg_heatmap(&labels, &m, 10, 10);
+        assert!(svg.contains("data-cells=\"5\""), "NaN cells are skipped: {svg}");
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains(">c0</text>"));
     }
 }

@@ -72,6 +72,7 @@ impl Sampler {
                 waypart_telemetry::Stamp::Cycles(now),
             )
             .field("mpki", sample.mpki())
+            .field("ipc", sample.window.ipc())
             .field("instructions", sample.window.instructions)
             .field("llc_misses", sample.window.llc_misses)
         });

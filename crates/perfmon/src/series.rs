@@ -34,41 +34,23 @@ impl MpkiSeries {
 
     /// Mean window MPKI.
     pub fn mean(&self) -> f64 {
-        if self.points.is_empty() {
-            0.0
-        } else {
-            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
-        }
+        waypart_telemetry::series::mean(self.points.iter().map(|p| p.1))
     }
 
     /// Counts transitions between "low" and "high" MPKI regimes relative
     /// to `threshold`, requiring `min_run` consecutive windows on a side
     /// before a crossing counts (debounce). Used to verify the model
     /// reproduces `429.mcf`'s five phase transitions (Fig 12).
+    ///
+    /// This type is the serde-friendly Fig 12 adapter; the algorithm
+    /// lives in [`waypart_telemetry::series::regime_transitions`] so the
+    /// dashboard aggregates and the figure checks can never drift apart.
     pub fn regime_transitions(&self, threshold: f64, min_run: usize) -> usize {
-        let mut transitions = 0;
-        let mut side: Option<bool> = None;
-        let mut run = 0usize;
-        let mut pending: Option<bool> = None;
-        for &(_, v) in &self.points {
-            let s = v > threshold;
-            match pending {
-                Some(p) if p == s => run += 1,
-                _ => {
-                    pending = Some(s);
-                    run = 1;
-                }
-            }
-            if run >= min_run {
-                if let Some(cur) = side {
-                    if cur != s {
-                        transitions += 1;
-                    }
-                }
-                side = Some(s);
-            }
-        }
-        transitions
+        waypart_telemetry::series::regime_transitions(
+            self.points.iter().map(|p| p.1),
+            threshold,
+            min_run,
+        )
     }
 
     /// Number of windows recorded.
@@ -126,5 +108,26 @@ mod tests {
             .collect();
         let s: MpkiSeries = pts.into_iter().collect();
         assert_eq!(s.regime_transitions(5.0, 2), 0);
+    }
+
+    #[test]
+    fn empty_series_has_no_transitions() {
+        assert_eq!(MpkiSeries::new().regime_transitions(5.0, 2), 0);
+    }
+
+    #[test]
+    fn min_run_zero_counts_every_crossing() {
+        // min_run 0 degenerates to 1: a sample is always a run of ≥ 1.
+        let s: MpkiSeries =
+            vec![(0, 1.0), (1, 9.0), (2, 1.0), (3, 9.0)].into_iter().collect();
+        assert_eq!(s.regime_transitions(5.0, 0), 3);
+        assert_eq!(s.regime_transitions(5.0, 1), 3);
+    }
+
+    #[test]
+    fn single_sample_never_transitions() {
+        let s: MpkiSeries = vec![(0, 9.0)].into_iter().collect();
+        assert_eq!(s.regime_transitions(5.0, 1), 0);
+        assert!((s.mean() - 9.0).abs() < 1e-12);
     }
 }

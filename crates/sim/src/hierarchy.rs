@@ -40,6 +40,38 @@ pub enum HitLevel {
     Bypass,
 }
 
+impl HitLevel {
+    /// Number of levels (array-index space for per-level aggregates).
+    pub const COUNT: usize = 5;
+
+    /// A dense index, stable across releases (L1=0 .. Bypass=4).
+    pub fn index(self) -> usize {
+        match self {
+            HitLevel::L1 => 0,
+            HitLevel::L2 => 1,
+            HitLevel::Llc => 2,
+            HitLevel::Dram => 3,
+            HitLevel::Bypass => 4,
+        }
+    }
+
+    /// Lower-case level name for event fields and report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            HitLevel::L1 => "l1",
+            HitLevel::L2 => "l2",
+            HitLevel::Llc => "llc",
+            HitLevel::Dram => "dram",
+            HitLevel::Bypass => "bypass",
+        }
+    }
+
+    /// All levels in index order.
+    pub fn all() -> [HitLevel; Self::COUNT] {
+        [HitLevel::L1, HitLevel::L2, HitLevel::Llc, HitLevel::Dram, HitLevel::Bypass]
+    }
+}
+
 /// Everything the machine needs to charge one demand access.
 #[derive(Debug, Clone, Copy)]
 pub struct AccessOutcome {
@@ -88,6 +120,10 @@ pub struct Hierarchy {
     /// Telemetry-only per-level tallies. Never read by simulation logic.
     #[cfg(feature = "telemetry")]
     tallies: crate::tallies::LevelTallies,
+    /// Telemetry-only per-access latency histograms, indexed by
+    /// [`HitLevel::index`]. Never read by simulation logic.
+    #[cfg(feature = "telemetry")]
+    latency_hists: [waypart_telemetry::Histogram; HitLevel::COUNT],
 }
 
 impl Hierarchy {
@@ -110,6 +146,8 @@ impl Hierarchy {
             pf_admit: vec![0; cfg.cores],
             #[cfg(feature = "telemetry")]
             tallies: Default::default(),
+            #[cfg(feature = "telemetry")]
+            latency_hists: Default::default(),
         }
     }
 
@@ -117,6 +155,13 @@ impl Hierarchy {
     #[cfg(feature = "telemetry")]
     pub fn tallies(&self) -> crate::tallies::LevelTallies {
         self.tallies
+    }
+
+    /// Per-access latency histograms by satisfying level, indexed by
+    /// [`HitLevel::index`] (telemetry builds).
+    #[cfg(feature = "telemetry")]
+    pub fn latency_hists(&self) -> &[waypart_telemetry::Histogram; HitLevel::COUNT] {
+        &self.latency_hists
     }
 
     /// Sets core `core`'s memory-bandwidth throttle (percent, 10..=100).
@@ -223,6 +268,7 @@ impl Hierarchy {
             #[cfg(feature = "telemetry")]
             {
                 self.tallies.bypasses += 1;
+                self.latency_hists[HitLevel::Bypass.index()].record(latency);
             }
             return AccessOutcome { latency, level: HitLevel::Bypass, dram_writebacks: 0, prefetches_issued: 0 };
         }
@@ -303,6 +349,7 @@ impl Hierarchy {
             }
             self.tallies.dram_writebacks += u64::from(writebacks);
             self.tallies.pf_issued += u64::from(issued);
+            self.latency_hists[level.index()].record(latency);
         }
 
         AccessOutcome { latency, level, dram_writebacks: writebacks, prefetches_issued: issued }

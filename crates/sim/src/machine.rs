@@ -194,6 +194,15 @@ impl Machine {
         self.hierarchy.tallies()
     }
 
+    /// Per-access latency histograms by satisfying level, indexed by
+    /// [`crate::hierarchy::HitLevel::index`] (telemetry builds).
+    #[cfg(feature = "telemetry")]
+    pub fn latency_hists(
+        &self,
+    ) -> &[waypart_telemetry::Histogram; crate::hierarchy::HitLevel::COUNT] {
+        self.hierarchy.latency_hists()
+    }
+
     /// Enables per-core utility monitors (for the UCP baseline).
     pub fn enable_umon(&mut self) {
         self.hierarchy.enable_umon();

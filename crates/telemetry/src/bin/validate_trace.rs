@@ -2,8 +2,9 @@
 //!
 //! Usage: `validate_trace <file.jsonl | file.trace.json> [...]`
 //!
-//! `.jsonl` files are checked line-by-line against the event schema
-//! (see `waypart_telemetry::schema`). Anything else is treated as a
+//! `.jsonl` files are checked line-by-line against the event and
+//! aggregate-record schema (see `waypart_telemetry::schema`); event and
+//! series/hist record lines may be mixed. Anything else is treated as a
 //! Chrome `trace_event` export and checked for being a well-formed JSON
 //! array of objects each carrying `name`/`ph`/`pid`/`tid`/`ts`.
 //! Exits nonzero on the first invalid file; used by `scripts/ci.sh`.
@@ -63,7 +64,7 @@ fn main() -> ExitCode {
             }
         };
         let result = if path.ends_with(".jsonl") {
-            validate_jsonl(&text).map(|n| (n, "events"))
+            validate_jsonl(&text).map(|n| (n, "records"))
         } else {
             validate_chrome(&text).map(|n| (n, "chrome trace entries"))
         };

@@ -39,10 +39,14 @@
 //! ```
 
 pub mod event;
+pub mod hist;
 pub mod schema;
+pub mod series;
 pub mod sinks;
 
 pub use event::{Event, EventKind, FieldValue, Stamp};
+pub use hist::Histogram;
+pub use series::TimeSeries;
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

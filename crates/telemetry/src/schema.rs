@@ -1,8 +1,8 @@
 //! The JSONL trace schema and its validator.
 //!
-//! One event per line; every line must be a JSON object with exactly this
-//! shape (extra keys are rejected so producers and consumers cannot
-//! silently drift):
+//! One record per line. A line is either an **event** — a JSON object
+//! with exactly this shape (extra keys are rejected so producers and
+//! consumers cannot silently drift):
 //!
 //! ```json
 //! {"name": "dyn.decision",           // non-empty string
@@ -11,6 +11,20 @@
 //!  "ts": 160000,                     // non-negative integer
 //!  "tid": 3,                         // non-negative integer
 //!  "fields": {"raw_mpki": 12.3}}     // object of scalars (string/number/bool/null)
+//! ```
+//!
+//! — or an **aggregate record**, marked by a `record` key. Two record
+//! types exist, produced by `sinks::SeriesSink` (key sets again exact):
+//!
+//! ```json
+//! {"record": "series", "name": "perfmon.window.mpki", "tid": 3,
+//!  "clock": "cycles", "stride": 1, "total": 42,
+//!  "points": [[160000, 12.3], [320000, 11.9]]}
+//!
+//! {"record": "hist", "name": "figure.run.seconds_us",
+//!  "count": 4, "sum": 3100000, "min": 250000, "max": 1500000,
+//!  "p50": 700000, "p90": 1500000, "p99": 1500000,
+//!  "buckets": [[245760, 1], [688128, 2], [1441792, 1]]}
 //! ```
 //!
 //! The validator is used by `scripts/ci.sh` via the `validate_trace`
@@ -231,14 +245,23 @@ const REQUIRED_KEYS: [&str; 6] = ["name", "kind", "clock", "ts", "tid", "fields"
 const KINDS: [&str; 4] = ["begin", "end", "instant", "counter"];
 /// Legal `clock` values.
 const CLOCKS: [&str; 2] = ["cycles", "wall_us"];
+/// The exact key set of a `{"record":"series",...}` line.
+const SERIES_KEYS: [&str; 7] = ["record", "name", "tid", "clock", "stride", "total", "points"];
+/// The exact key set of a `{"record":"hist",...}` line.
+const HIST_KEYS: [&str; 10] =
+    ["record", "name", "count", "sum", "min", "max", "p50", "p90", "p99", "buckets"];
 
-/// Validates one JSONL event line against the schema in the module docs.
+/// Validates one JSONL line — an event or an aggregate record — against
+/// the schema in the module docs.
 pub fn validate_line(line: &str) -> Result<(), String> {
     let v = parse_json(line)?;
     let fields = match &v {
         Json::Obj(f) => f,
         _ => return Err("event line is not a JSON object".into()),
     };
+    if v.get("record").is_some() {
+        return validate_record(&v, fields);
+    }
     for key in REQUIRED_KEYS {
         if v.get(key).is_none() {
             return Err(format!("missing required key `{key}`"));
@@ -281,8 +304,91 @@ pub fn validate_line(line: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a whole JSONL document; returns the number of event lines.
-/// Empty lines are ignored; the first invalid line fails with its number.
+/// Validates an aggregate-record line (`record` key present).
+fn validate_record(v: &Json, fields: &[(String, Json)]) -> Result<(), String> {
+    let kind = match v.get("record") {
+        Some(Json::Str(s)) => s.as_str(),
+        other => return Err(format!("`record` must be a string, got {other:?}")),
+    };
+    let required: &[&str] = match kind {
+        "series" => &SERIES_KEYS,
+        "hist" => &HIST_KEYS,
+        _ => return Err(format!("`record` must be \"series\" or \"hist\", got `{kind}`")),
+    };
+    for key in required {
+        if v.get(key).is_none() {
+            return Err(format!("{kind} record missing required key `{key}`"));
+        }
+    }
+    for (k, _) in fields {
+        if !required.contains(&k.as_str()) {
+            return Err(format!("unknown key `{k}` in {kind} record"));
+        }
+    }
+    match v.get("name") {
+        Some(Json::Str(s)) if !s.is_empty() => {}
+        _ => return Err("`name` must be a non-empty string".into()),
+    }
+    match kind {
+        "series" => {
+            match v.get("clock") {
+                Some(Json::Str(s)) if CLOCKS.contains(&s.as_str()) => {}
+                other => return Err(format!("`clock` must be one of {CLOCKS:?}, got {other:?}")),
+            }
+            for key in ["tid", "total"] {
+                non_neg_int(v, key)?;
+            }
+            match v.get("stride") {
+                Some(Json::Num { value, is_int }) if *is_int && *value >= 1.0 => {}
+                other => return Err(format!("`stride` must be a positive integer, got {other:?}")),
+            }
+            pair_array(v, "points", |second| matches!(second, Json::Num { .. }))
+        }
+        "hist" => {
+            for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+                non_neg_int(v, key)?;
+            }
+            pair_array(v, "buckets", |second| {
+                matches!(second, Json::Num { value, is_int } if *is_int && *value >= 1.0)
+            })
+        }
+        _ => unreachable!("record kind checked above"),
+    }
+}
+
+fn non_neg_int(v: &Json, key: &str) -> Result<(), String> {
+    match v.get(key) {
+        Some(Json::Num { value, is_int }) if *is_int && *value >= 0.0 => Ok(()),
+        other => Err(format!("`{key}` must be a non-negative integer, got {other:?}")),
+    }
+}
+
+/// Checks that `key` is an array of `[non-negative-int, X]` pairs where
+/// `ok_second` accepts X.
+fn pair_array(v: &Json, key: &str, ok_second: impl Fn(&Json) -> bool) -> Result<(), String> {
+    let items = match v.get(key) {
+        Some(Json::Arr(items)) => items,
+        other => return Err(format!("`{key}` must be an array, got {other:?}")),
+    };
+    for (i, item) in items.iter().enumerate() {
+        let pair = match item {
+            Json::Arr(pair) if pair.len() == 2 => pair,
+            _ => return Err(format!("`{key}[{i}]` must be a 2-element array")),
+        };
+        match &pair[0] {
+            Json::Num { value, is_int } if *is_int && *value >= 0.0 => {}
+            _ => return Err(format!("`{key}[{i}][0]` must be a non-negative integer")),
+        }
+        if !ok_second(&pair[1]) {
+            return Err(format!("`{key}[{i}][1]` has the wrong type"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL document (events and aggregate records may be
+/// mixed freely); returns the number of non-empty lines. Empty lines are
+/// ignored; the first invalid line fails with its number.
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     let mut n = 0;
     for (i, line) in text.lines().enumerate() {
@@ -344,6 +450,62 @@ mod tests {
         let ev = Event::instant("a.b", Stamp::WallUs(1)).to_jsonl();
         let doc = format!("\n{ev}\n\n{ev}\n");
         assert_eq!(validate_jsonl(&doc), Ok(2));
+    }
+
+    #[test]
+    fn aggregate_records_validate() {
+        let series = "{\"record\":\"series\",\"name\":\"perfmon.window.mpki\",\"tid\":3,\
+                      \"clock\":\"cycles\",\"stride\":2,\"total\":42,\
+                      \"points\":[[160000,12.3],[320000,11.9]]}";
+        let hist = "{\"record\":\"hist\",\"name\":\"figure.run.seconds_us\",\"count\":4,\
+                    \"sum\":3100000,\"min\":250000,\"max\":1500000,\"p50\":700000,\
+                    \"p90\":1500000,\"p99\":1500000,\"buckets\":[[245760,1],[688128,3]]}";
+        validate_line(series).expect("series record");
+        validate_line(hist).expect("hist record");
+        // Mixed event + record documents validate as a whole.
+        let ev = Event::instant("a.b", Stamp::WallUs(1)).to_jsonl();
+        assert_eq!(validate_jsonl(&format!("{ev}\n{series}\n{hist}\n")), Ok(3));
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        assert!(validate_line("{\"record\":\"blob\",\"name\":\"x\"}")
+            .unwrap_err()
+            .contains("\"series\" or \"hist\""));
+        // Missing key.
+        let err = validate_line(
+            "{\"record\":\"series\",\"name\":\"x\",\"tid\":0,\"clock\":\"cycles\",\
+             \"stride\":1,\"total\":0}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing required key `points`"), "{err}");
+        // Unknown key.
+        let err = validate_line(
+            "{\"record\":\"series\",\"name\":\"x\",\"tid\":0,\"clock\":\"cycles\",\
+             \"stride\":1,\"total\":0,\"points\":[],\"extra\":1}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown key `extra`"), "{err}");
+        // Malformed pair arrays.
+        let err = validate_line(
+            "{\"record\":\"series\",\"name\":\"x\",\"tid\":0,\"clock\":\"cycles\",\
+             \"stride\":1,\"total\":1,\"points\":[[1,2,3]]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("2-element"), "{err}");
+        // Hist bucket counts must be positive integers.
+        let err = validate_line(
+            "{\"record\":\"hist\",\"name\":\"x\",\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\
+             \"p50\":1,\"p90\":1,\"p99\":1,\"buckets\":[[1,0]]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("buckets[0][1]"), "{err}");
+        // Stride 0 is meaningless.
+        assert!(validate_line(
+            "{\"record\":\"series\",\"name\":\"x\",\"tid\":0,\"clock\":\"cycles\",\
+             \"stride\":0,\"total\":0,\"points\":[]}",
+        )
+        .is_err());
     }
 
     #[test]

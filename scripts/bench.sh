@@ -128,4 +128,13 @@ jq -n \
     engine_ns_per_access: $ns_per_access, figure_seconds_warm: $figure_seconds}' > "$OUT"
 echo "wrote $OUT:"
 cat "$OUT"
+
+# Append this session to the benchmark history (one JSON object per line)
+# so the perf sentry can judge future runs against a real distribution:
+#   cargo run -p waypart-bench --bin sentry -- --history BENCH_history.jsonl
+HISTORY="BENCH_history.jsonl"
+jq -c --arg at "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      --arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+      '. + {at: $at, rev: $rev}' "$OUT" >> "$HISTORY"
+echo "appended to $HISTORY ($(wc -l < "$HISTORY") sessions)"
 rm -rf "$SCRATCH"

@@ -33,15 +33,66 @@ echo "== telemetry: feature-on build + inertness + trace validation =="
 # inertness test that attaches live sinks (DESIGN.md §5c).
 cargo test --release --features telemetry \
   --test determinism --test golden_fingerprint --test telemetry_inert -q
-# Emitted traces must satisfy their own schemas (offline, jq-free).
+# Emitted traces must satisfy their own schemas (offline, jq-free). The
+# feature-on build adds per-access latency histograms (`sim.latency`) to
+# the cold fig12 trace; fig12 is the cheap artifact that still contains a
+# dynamically-partitioned pair, so the trace carries real `sim.occupancy`
+# windows for the dashboard.
 TRACE_DIR=$(mktemp -d /tmp/waypart-ci-trace.XXXXXX)
 trap 'rm -rf "$TRACE_DIR"' EXIT
-cargo run --release -p waypart-experiments --bin reproduce -- \
+cargo run --release -p waypart-experiments --features telemetry --bin reproduce -- \
   --scale test --no-cache --out "$TRACE_DIR/results" \
   --trace "$TRACE_DIR/trace.jsonl" --trace "$TRACE_DIR/trace.json" \
   --metrics "$TRACE_DIR/metrics.json" fig12 >/dev/null
 cargo run --release -p waypart-telemetry --bin validate_trace -- \
   "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/trace.json"
+
+echo "== report: build dashboard + well-formedness check =="
+# A warm pass over the committed run cache adds the headline summary (the
+# paper-delta table's data) without re-simulating the pair sweeps; JSONL
+# traces concatenate, so the report sees both the cold sim events and the
+# warm aggregate pass.
+cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --out "$TRACE_DIR/results_warm" \
+  --trace "$TRACE_DIR/warm.jsonl" fig9 fig10 fig11 fig13 headline >/dev/null
+cat "$TRACE_DIR/trace.jsonl" "$TRACE_DIR/warm.jsonl" > "$TRACE_DIR/combined.jsonl"
+cargo run --release -p waypart-telemetry --bin validate_trace -- "$TRACE_DIR/combined.jsonl"
+cargo run --release -p waypart-experiments --bin report -- \
+  --trace "$TRACE_DIR/combined.jsonl" --metrics "$TRACE_DIR/metrics.json" \
+  --out "$TRACE_DIR/report.html"
+cargo run --release -p waypart-experiments --bin report -- --check "$TRACE_DIR/report.html"
+# Cache-warm traces must degrade to an explicit banner, not empty
+# panels. fig13 alone replays entirely from the committed cache (fig10's
+# hog runs bypass the cache, so the combined list above never goes fully
+# warm) — its trace has dyn.run summaries but zero fresh simulations.
+cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --out "$TRACE_DIR/results_warm13" \
+  --trace "$TRACE_DIR/warm13.jsonl" fig13 >/dev/null
+cargo run --release -p waypart-experiments --bin report -- \
+  --trace "$TRACE_DIR/warm13.jsonl" --out "$TRACE_DIR/report_warm.html" >/dev/null
+grep -q "replayed from cache" "$TRACE_DIR/report_warm.html" \
+  || { echo "FAIL: warm report lacks the cache banner" >&2; exit 1; }
+
+echo "== perf sentry smoke (noise-aware regression gate) =="
+# Synthetic history around 100 s / 150 ns: +25% must flag, ±8% must pass.
+SENTRY_HIST="$TRACE_DIR/hist.jsonl"
+for v in "98.0 149.0" "100.0 151.0" "101.0 150.0" "99.5 152.0" "100.5 148.0"; do
+  set -- $v
+  printf '{"current_median_s":%s,"engine_ns_per_access":%s}\n' "$1" "$2" >> "$SENTRY_HIST"
+done
+printf '{"current_median_s":125.0,"engine_ns_per_access":150.0}\n' > "$TRACE_DIR/regressed.json"
+printf '{"current_median_s":108.0,"engine_ns_per_access":141.0}\n' > "$TRACE_DIR/jitter.json"
+if cargo run --release -p waypart-bench --bin sentry -- \
+    --history "$SENTRY_HIST" --current "$TRACE_DIR/regressed.json" >/dev/null; then
+  echo "FAIL: sentry missed a +25% regression" >&2; exit 1
+fi
+cargo run --release -p waypart-bench --bin sentry -- \
+  --history "$SENTRY_HIST" --current "$TRACE_DIR/jitter.json" >/dev/null \
+  || { echo "FAIL: sentry flagged ±8% jitter" >&2; exit 1; }
+# The real history, if present, gates this checkout's latest bench session.
+if [ -s BENCH_history.jsonl ]; then
+  cargo run --release -p waypart-bench --bin sentry -- --history BENCH_history.jsonl
+fi
 
 echo "== bench smoke (engine throughput, 2 iterations) =="
 cargo build --release --example profile_engine

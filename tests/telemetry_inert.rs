@@ -19,7 +19,7 @@ use waypart::core::dynamic::DynamicConfig;
 use waypart::core::policy::PartitionPolicy;
 use waypart::core::runner::{Runner, RunnerConfig};
 use waypart::sim::counters::HwCounters;
-use waypart::telemetry::sinks::CollectingSink;
+use waypart::telemetry::sinks::{CollectingSink, MultiSink, SeriesSink};
 use waypart::telemetry::{self, Event, EventKind};
 use waypart::workloads::registry;
 
@@ -48,27 +48,36 @@ fn fingerprint(c: &HwCounters) -> String {
     )
 }
 
-/// Runs `f` with a collecting sink installed, returning (result, events).
+/// Runs `f` with a collecting sink AND a live aggregating [`SeriesSink`]
+/// installed, returning (result, events, series sink). The aggregation
+/// layer is the heaviest consumer (it folds every numeric field into
+/// ring-buffer series), so inertness must hold with it attached too.
 /// Serialized via a lock because the sink is process-global and the test
 /// harness runs `#[test]`s concurrently within this binary.
-fn with_sink<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
+fn with_sink<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>, Arc<SeriesSink>) {
     use std::sync::Mutex;
     static GATE: Mutex<()> = Mutex::new(());
     let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
-    let sink = Arc::new(CollectingSink::new());
-    telemetry::set_sink(sink.clone());
+    let collect = Arc::new(CollectingSink::new());
+    let series = Arc::new(SeriesSink::new());
+    telemetry::set_sink(Arc::new(MultiSink::new(vec![collect.clone(), series.clone()])));
     let out = f();
     telemetry::clear_sink();
-    (out, sink.take())
+    (out, collect.take(), series)
 }
 
 #[test]
 fn solo_golden_identical_with_live_sink() {
     let app = registry::by_name("429.mcf").expect("registered");
     let runner = Runner::new(RunnerConfig::test());
-    let (r, events) = with_sink(|| runner.run_solo(&app, 4, 12));
+    let (r, events, series) = with_sink(|| runner.run_solo(&app, 4, 12));
     let got = format!("cycles={} {}", r.cycles, fingerprint(&r.counters));
     assert_eq!(got, GOLDEN_SOLO, "telemetry perturbed the solo run");
+    // The aggregation layer must have folded events into series, and its
+    // rendered records must satisfy the trace schema.
+    assert!(series.series_count() > 0, "SeriesSink folded nothing");
+    waypart::telemetry::schema::validate_jsonl(&series.render_jsonl())
+        .expect("aggregate records validate");
     // The sink must actually have been live: a run span plus the
     // feature-gated tallies snapshot.
     assert!(events.iter().any(|e| e.name == "runner.run" && e.kind == EventKind::Begin));
@@ -85,7 +94,7 @@ fn pair_golden_identical_with_live_sink() {
     let fg = registry::by_name("canneal").expect("registered");
     let bg = registry::by_name("462.libquantum").expect("registered");
     let runner = Runner::new(RunnerConfig::test());
-    let (r, events) =
+    let (r, events, _series) =
         with_sink(|| runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 }));
     let got = format!(
         "fg_cycles={} bg_i={} {}",
@@ -107,10 +116,18 @@ fn dynamic_run_identical_with_and_without_sink() {
     let bg = registry::by_name("swaptions").expect("registered");
     let runner = Runner::new(RunnerConfig::test());
     let bare = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
-    let (observed, events) = with_sink(|| runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper()));
+    let (observed, events, series) =
+        with_sink(|| runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper()));
     assert_eq!(format!("{bare:?}"), format!("{observed:?}"), "sink changed the dynamic run");
     let decisions = events.iter().filter(|e| e.name == "dyn.decision").count();
     let reallocs = events.iter().filter(|e| e.name == "dyn.realloc").count();
     assert!(decisions > 0, "controller emitted no decisions");
     assert_eq!(reallocs as u64, observed.reallocations, "one dyn.realloc per reallocation");
+    // The per-window occupancy counters feed the dashboard's heatmap; the
+    // dynamic path must produce them and the sink must fold them.
+    assert!(events.iter().any(|e| e.name == "sim.occupancy"), "no occupancy windows emitted");
+    assert!(
+        series.render_jsonl().contains("sim.occupancy.occ_c0"),
+        "occupancy not folded into a series"
+    );
 }
