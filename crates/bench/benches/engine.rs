@@ -1,0 +1,120 @@
+//! Microbenches for the batched access engine's three hot kernels:
+//! the set-associative probe+fill pair, PLRU victim selection, and
+//! bulk (`fill`) versus single-event (`next_event`) stream generation.
+//!
+//! These isolate the layers the end-to-end `simulator` bench mixes
+//! together, so a regression report names the kernel at fault. Run via
+//! `scripts/bench.sh --micro` or `cargo bench -p waypart-bench --bench
+//! engine`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use waypart_sim::addr::{mix64, LineAddr};
+use waypart_sim::cache::SetAssocCache;
+use waypart_sim::config::MachineConfig;
+use waypart_sim::plru::PlruTree;
+use waypart_sim::stream::{AccessStream, StreamEvent};
+use waypart_sim::WayMask;
+use waypart_workloads::{registry, Scale};
+
+const ACCESSES: u64 = 200_000;
+
+/// The LLC-geometry probe/fill pair on its own, over working sets that
+/// pin the hit ratio: resident (pure probe-hit path) and thrashing
+/// (every miss exercises victim selection + fill).
+fn probe_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_probe_fill");
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.sample_size(20);
+    let llc = MachineConfig::sandy_bridge().llc;
+    let mask = WayMask::all(llc.ways);
+    for (label, ws_lines) in [("resident", 4_000u64), ("thrashing", 1_000_000)] {
+        g.bench_function(label, |b| {
+            let mut cache = SetAssocCache::new(llc);
+            b.iter(|| {
+                let mut hits = 0u64;
+                for i in 0..ACCESSES {
+                    let line = LineAddr::in_space(0, mix64(i) % ws_lines);
+                    if cache.probe(line, i % 4 == 0).is_some() {
+                        hits += 1;
+                    } else {
+                        cache.fill(line, mask, false, (i % 4) as u8);
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// PLRU victim selection under a full mask and a partitioned half mask
+/// (the masked walk is the partitioning hot path).
+fn plru_victim(c: &mut Criterion) {
+    const PICKS: u64 = 1_000_000;
+    let mut g = c.benchmark_group("engine_plru_victim");
+    g.throughput(Throughput::Elements(PICKS));
+    g.sample_size(20);
+    let ways = MachineConfig::sandy_bridge().llc.ways;
+    let leaves = ways.next_power_of_two();
+    for (label, mask) in [("all_ways", WayMask::all(ways)), ("half_ways", WayMask::contiguous(0, ways / 2))] {
+        let allowed = mask.bits();
+        g.bench_function(label, |b| {
+            let mut tree = PlruTree::new();
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..PICKS {
+                    let v = tree.victim(allowed, leaves).expect("mask non-empty");
+                    tree.touch(v, leaves);
+                    acc = acc.wrapping_add(v ^ (i as usize & 1));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Workload stream generation: the native bulk `fill` against the
+/// one-virtual-call-per-event `next_event` loop it replaced, on the
+/// evaluation's heaviest generator (`429.mcf`).
+fn stream_generation(c: &mut Criterion) {
+    const EVENTS: u64 = 200_000;
+    let mut g = c.benchmark_group("engine_stream_generation");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.sample_size(20);
+    let app = registry::by_name("429.mcf").expect("registered");
+    g.bench_function("bulk_fill", |b| {
+        b.iter(|| {
+            let mut s = app.endless_stream(1, 0, 1, Scale::TEST, 0xBE7C);
+            let mut buf = [StreamEvent::Done; 256];
+            let mut produced = 0u64;
+            while produced < EVENTS {
+                let n = s.fill(&mut buf) as u64;
+                assert!(n > 0, "endless stream never exhausts");
+                produced += n;
+            }
+            black_box(produced)
+        })
+    });
+    g.bench_function("single_event", |b| {
+        b.iter(|| {
+            let mut s = app.endless_stream(1, 0, 1, Scale::TEST, 0xBE7C);
+            let mut produced = 0u64;
+            while produced < EVENTS {
+                match s.next_event() {
+                    StreamEvent::Done => unreachable!("endless stream never exhausts"),
+                    ev => {
+                        black_box(ev);
+                        produced += 1;
+                    }
+                }
+            }
+            black_box(produced)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, probe_fill, plru_victim, stream_generation);
+criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! Each history line is one benchmarking session's JSON record (the
 //! `BENCH_sim.json` object plus `at`/`rev`, appended by
 //! `scripts/bench.sh`). For every `--metric` (default
-//! `current_median_s` and `engine_ns_per_access`; higher = worse) the
+//! `current_median_s`, `current_cold_s`, and `engine_ns_per_access`;
+//! higher = worse) the
 //! sentry compares the newest measurement against the older history
 //! using the median + MAD rule in [`waypart_bench::sentry`], calibrated
 //! to the environment's ±10% wall-clock noise. Without `--current`, the
@@ -90,7 +91,14 @@ fn main() -> ExitCode {
         }
     };
     if metrics.is_empty() {
-        metrics = vec!["current_median_s".to_string(), "engine_ns_per_access".to_string()];
+        // Cold time is the headline this engine optimizes (run-cache off,
+        // every measurement simulated); the warm median and raw engine
+        // ns/access catch regressions the cache would otherwise mask.
+        metrics = vec![
+            "current_median_s".to_string(),
+            "current_cold_s".to_string(),
+            "engine_ns_per_access".to_string(),
+        ];
     }
 
     let text = match std::fs::read_to_string(&history_path) {

@@ -14,8 +14,9 @@ use waypart_energy::{EnergyBreakdown, EnergyMeter, PowerModel};
 use waypart_perfmon::{MpkiSeries, Sampler};
 use waypart_sim::config::MachineConfig;
 use waypart_sim::counters::HwCounters;
-use waypart_sim::machine::Machine;
+use waypart_sim::machine::{Machine, QuantumActivity};
 use waypart_sim::msr::PrefetcherMask;
+use waypart_sim::stream::{AccessStream, SharedTrace};
 use waypart_sim::{Cycles, WayMask};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
 use waypart_workloads::{AppSpec, Scale};
@@ -107,8 +108,234 @@ pub const FG_ASID: u16 = 1;
 /// Background address-space id.
 pub const BG_ASID: u16 = 2;
 
+/// Engine fidelity: exact interval simulation, or SMARTS-style systematic
+/// sampling that alternates detailed windows with rate-extrapolated
+/// fast-forward windows (see DESIGN.md §5e for the error model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FidelityMode {
+    /// Every quantum runs the full engine. The default; byte-identical to
+    /// the pre-fidelity engine.
+    Exact,
+    /// Periodic schedule: each period runs `detail_quanta` detailed quanta
+    /// (the first doubles as the warming window after a skip) followed by
+    /// `skip_quanta` fast-forwarded quanta extrapolated from each thread's
+    /// most recent detailed rates.
+    Sampled {
+        /// Detailed quanta per period (≥ 1).
+        detail_quanta: u32,
+        /// Fast-forwarded quanta per period.
+        skip_quanta: u32,
+    },
+}
+
+/// The engine action for one quantum under a fidelity schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantumStep {
+    /// Full engine; counter deltas become the thread's extrapolation rates.
+    Measure,
+    /// Full engine to re-warm cache state after a skip, but state-dependent
+    /// counters are replaced by rate extrapolation and rates are not
+    /// recorded (the post-skip miss burst is a sampling artifact).
+    Warm,
+    /// Rate-extrapolated skip: no accesses are simulated.
+    FastForward,
+}
+
+impl FidelityMode {
+    /// The default sampled schedule: one measurement quantum followed by
+    /// seven fast-forwarded quanta per period. Chosen from the measured
+    /// error grid at `test` scale (see DESIGN.md §5e): the longest skip
+    /// whose headline-pair MPKI error stays inside the documented 2%
+    /// bound. Longer skips sample faster but let fast-forward cache
+    /// staleness inflate the measured miss rates.
+    pub fn sampled_default() -> Self {
+        FidelityMode::Sampled { detail_quanta: 1, skip_quanta: 7 }
+    }
+
+    /// The engine action for quantum `index` (0-based within a run). Each
+    /// sampled period runs its detailed window first — warming quanta
+    /// followed by one measurement quantum — then the skip, so a fresh
+    /// machine always measures real rates before the first fast-forward.
+    #[inline]
+    pub fn step(&self, index: u64) -> QuantumStep {
+        match *self {
+            FidelityMode::Exact => QuantumStep::Measure,
+            FidelityMode::Sampled { detail_quanta, skip_quanta } => {
+                let detail = u64::from(detail_quanta).max(1);
+                let period = detail + u64::from(skip_quanta);
+                let pos = index % period;
+                if pos + 1 == detail {
+                    QuantumStep::Measure
+                } else if pos < detail {
+                    QuantumStep::Warm
+                } else {
+                    QuantumStep::FastForward
+                }
+            }
+        }
+    }
+
+    /// Whether quantum `index` (0-based within a run) runs detailed.
+    #[inline]
+    pub fn is_detailed(&self, index: u64) -> bool {
+        self.step(index) != QuantumStep::FastForward
+    }
+
+    /// A fresh per-run scheduler for this mode.
+    pub fn scheduler(&self) -> QuantumScheduler {
+        QuantumScheduler {
+            mode: *self,
+            warming_up: matches!(self, FidelityMode::Sampled { .. }),
+            warm_quanta: 0,
+            ewma_primed: false,
+            ewma: 0.0,
+            stable: 0,
+            pos: 0,
+        }
+    }
+}
+
+/// Per-run schedule state for a fidelity mode: an *adaptive* detailed
+/// warm-up prefix, the periodic detailed/fast-forward pattern of
+/// [`FidelityMode::step`], and adaptive *re*-warming on traffic regime
+/// changes.
+///
+/// Why adaptive: a run's opening quanta are dominated by compulsory
+/// fills — the caches are empty and every working-set line misses.
+/// Extrapolating rates measured inside that transient multiplies the
+/// warm-up misses by the skip ratio, which at small scales can inflate
+/// MPKI severalfold. The scheduler therefore runs every quantum detailed
+/// until per-quantum DRAM traffic (compulsory fills land there) settles:
+/// once the traffic stays within ±25% of its EWMA for 4 consecutive
+/// quanta (and at least [`QuantumScheduler::MIN_WARMUP`] quanta have
+/// run), steady state has been reached and sampling begins — directly
+/// with a skip, since the caches are maximally warm.
+///
+/// Why re-warming: phase-changing applications (`429.mcf` is the
+/// paper's showcase) repeat the cold-start problem at every phase
+/// boundary — the new phase's working set misses wholesale, and a
+/// sampled run that keeps extrapolating through that transient inherits
+/// the same severalfold bias mid-run. Detailed quanta keep feeding the
+/// traffic EWMA; when one lands far outside the band (>100% deviation),
+/// the scheduler drops back into detailed warm-up until the new phase's
+/// traffic settles. Stable phases sample aggressively; transitions are
+/// simulated exactly, once, just as an exact run pays them once.
+///
+/// Every criterion is a pure function of simulation state, so sampled
+/// runs stay deterministic, and a run whose traffic never settles simply
+/// stays detailed (exact results, no speedup — the honest failure mode).
+#[derive(Debug, Clone)]
+pub struct QuantumScheduler {
+    mode: FidelityMode,
+    /// Still inside a detailed warm-up (initial or re-triggered).
+    warming_up: bool,
+    /// Detailed quanta run so far during the current warm-up.
+    warm_quanta: u64,
+    /// Whether `ewma` has been seeded by a first observation.
+    ewma_primed: bool,
+    /// EWMA of per-quantum DRAM line transfers (α = 0.25).
+    ewma: f64,
+    /// Consecutive quanta whose DRAM traffic sat inside the EWMA band.
+    stable: u32,
+    /// Position within the periodic schedule once warm-up has ended.
+    pos: u64,
+}
+
+impl QuantumScheduler {
+    /// Minimum detailed quanta before sampling may (re)begin.
+    const MIN_WARMUP: u64 = 8;
+    /// Consecutive in-band quanta required to declare steady state. Phase
+    /// transients decay with quasi-stable plateaus several quanta long;
+    /// a short stability run can mistake one for steady state and exit
+    /// warm-up with elevated rates, so the run must be longer than the
+    /// plateaus observed in practice.
+    const STABLE_QUANTA: u32 = 8;
+
+    /// Advances `machine` by one quantum at the scheduled fidelity.
+    pub fn step(&mut self, machine: &mut Machine) -> QuantumActivity {
+        if self.warming_up {
+            let act = machine.run_quantum();
+            self.observe_warmup(act.dram_lines);
+            return act;
+        }
+        let kind = match self.mode {
+            FidelityMode::Exact => QuantumStep::Measure,
+            FidelityMode::Sampled { .. } => {
+                let kind = self.mode.step(self.pos);
+                self.pos += 1;
+                kind
+            }
+        };
+        match kind {
+            QuantumStep::Measure => {
+                let act = machine.run_quantum();
+                self.observe_steady(act.dram_lines);
+                act
+            }
+            QuantumStep::Warm => machine.run_quantum_warming(),
+            QuantumStep::FastForward => machine.fast_forward_quantum(),
+        }
+    }
+
+    /// The stability band around the traffic EWMA, with an absolute floor
+    /// so near-idle traffic (a handful of lines per quantum) can't pin
+    /// the scheduler in either state.
+    fn band(&self) -> f64 {
+        (self.ewma * 0.25).max(4.0)
+    }
+
+    fn observe_warmup(&mut self, dram_lines: u64) {
+        let FidelityMode::Sampled { detail_quanta, .. } = self.mode else {
+            return;
+        };
+        let d = dram_lines as f64;
+        self.warm_quanta += 1;
+        if !self.ewma_primed {
+            self.ewma_primed = true;
+            self.ewma = d;
+            return;
+        }
+        self.stable = if (d - self.ewma).abs() <= self.band() { self.stable + 1 } else { 0 };
+        self.ewma = 0.75 * self.ewma + 0.25 * d;
+        if self.warm_quanta >= Self::MIN_WARMUP && self.stable >= Self::STABLE_QUANTA {
+            self.warming_up = false;
+            // Enter the periodic pattern at its first fast-forward: the
+            // warm-up prefix already played the detailed window's role.
+            self.pos = u64::from(detail_quanta.max(1));
+        }
+    }
+
+    fn observe_steady(&mut self, dram_lines: u64) {
+        if !matches!(self.mode, FidelityMode::Sampled { .. }) {
+            return;
+        }
+        let d = dram_lines as f64;
+        // >100% deviation from the running average: a traffic regime
+        // change (phase boundary, controller reallocation), not noise.
+        // The absolute floor mirrors `band()`'s: a near-idle run (EWMA of
+        // a handful of lines) must still re-warm when a phase boundary
+        // pushes a measured quantum to tens of lines — post-transition
+        // quanta are throughput-capped (stale-cache stalls limit retired
+        // instructions), so the absolute traffic stays modest even while
+        // the per-instruction miss rate explodes.
+        if (d - self.ewma).abs() > self.ewma.max(16.0) {
+            self.warming_up = true;
+            self.warm_quanta = 0;
+            self.stable = 0;
+            return;
+        }
+        self.ewma = 0.75 * self.ewma + 0.25 * d;
+    }
+}
+
+impl Default for FidelityMode {
+    fn default() -> Self {
+        FidelityMode::Exact
+    }
+}
+
 /// Everything a measurement run needs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunnerConfig {
     /// Machine description (pair its capacity scale with `scale`).
     pub machine: MachineConfig,
@@ -123,6 +350,50 @@ pub struct RunnerConfig {
     pub sample_interval: Cycles,
     /// Safety limit on quanta per run.
     pub max_quanta: u64,
+    /// Engine fidelity. [`FidelityMode::Exact`] unless explicitly opted
+    /// into sampling.
+    pub fidelity: FidelityMode,
+}
+
+// Hand-written (de)serialization: the `fidelity` field is *omitted* when
+// `Exact`, so an exact-mode config renders to byte-identical JSON as before
+// the field existed. That keeps every committed run-cache entry and golden
+// valid (their keys hash this JSON), while sampled configs serialize the
+// field and therefore can never collide with exact-mode cache entries.
+// (The vendored serde_derive has no `#[serde(skip_serializing_if)]`.)
+impl Serialize for RunnerConfig {
+    fn to_value(&self) -> serde::json::Value {
+        let mut fields = vec![
+            ("machine".to_owned(), self.machine.to_value()),
+            ("scale".to_owned(), self.scale.to_value()),
+            ("power".to_owned(), self.power.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("sample_interval".to_owned(), self.sample_interval.to_value()),
+            ("max_quanta".to_owned(), self.max_quanta.to_value()),
+        ];
+        if self.fidelity != FidelityMode::Exact {
+            fields.push(("fidelity".to_owned(), self.fidelity.to_value()));
+        }
+        serde::json::Value::Obj(fields)
+    }
+}
+
+impl Deserialize for RunnerConfig {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        Ok(RunnerConfig {
+            machine: MachineConfig::from_value(v.field("machine")?)?,
+            scale: Scale::from_value(v.field("scale")?)?,
+            power: PowerModel::from_value(v.field("power")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            sample_interval: Cycles::from_value(v.field("sample_interval")?)?,
+            max_quanta: u64::from_value(v.field("max_quanta")?)?,
+            // Absent in every pre-fidelity config: default to Exact.
+            fidelity: match v.field("fidelity") {
+                Ok(f) => FidelityMode::from_value(f)?,
+                Err(_) => FidelityMode::Exact,
+            },
+        })
+    }
 }
 
 impl RunnerConfig {
@@ -135,6 +406,7 @@ impl RunnerConfig {
             seed: 0xC00C,
             sample_interval: 2_000_000,
             max_quanta: 4_000_000,
+            fidelity: FidelityMode::Exact,
         }
     }
 
@@ -149,6 +421,7 @@ impl RunnerConfig {
             seed: 0xC00C,
             sample_interval: 400_000,
             max_quanta: 1_000_000,
+            fidelity: FidelityMode::Exact,
         }
     }
 
@@ -173,6 +446,7 @@ impl RunnerConfig {
             // below the controller's THR3 (5%).
             sample_interval: 80_000,
             max_quanta: 300_000,
+            fidelity: FidelityMode::Exact,
         }
     }
 }
@@ -251,6 +525,40 @@ impl Controller {
     }
 }
 
+/// Per-policy state of one [`Runner::run_pair_batch`] lockstep lane —
+/// the loop-local variables of `run_pair_inner`'s static path, boxed up
+/// so `run_lockstep` can advance lanes a quantum at a time.
+struct PairLane {
+    machine: Machine,
+    meter: EnergyMeter,
+    sampler: Sampler,
+    mpki: MpkiSeries,
+    ways_trace: Vec<(Cycles, usize)>,
+    quanta: u64,
+    sched: QuantumScheduler,
+}
+
+impl PairLane {
+    /// Packages the lane into the `PairResult` the sequential path would
+    /// have produced.
+    fn finish(&mut self) -> PairResult {
+        let truncated = !self.machine.app_done(FG_ASID);
+        let fg_cycles = self.machine.finish_time(FG_ASID).unwrap_or(self.machine.now());
+        let bg_counters = self.machine.app_counters(BG_ASID);
+        PairResult {
+            fg_cycles,
+            fg_counters: self.machine.app_counters(FG_ASID),
+            bg_instructions: bg_counters.instructions,
+            bg_rate: bg_counters.instructions as f64 / fg_cycles.max(1) as f64,
+            energy: self.meter.total(),
+            fg_mpki: std::mem::replace(&mut self.mpki, MpkiSeries::new()),
+            fg_ways_trace: std::mem::take(&mut self.ways_trace),
+            reallocations: 0,
+            truncated,
+        }
+    }
+}
+
 /// The measurement harness.
 #[derive(Debug, Clone)]
 pub struct Runner {
@@ -318,8 +626,9 @@ impl Runner {
         let mut sampler = Sampler::new(self.cfg.sample_interval);
         let mut mpki = MpkiSeries::new();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
@@ -343,6 +652,112 @@ impl Runner {
     pub fn run_pair_endless_bg(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> PairResult {
         let (fg_mask, bg_mask) = policy.masks(self.cfg.machine.llc.ways);
         self.run_pair_inner(fg, bg, fg_mask, bg_mask, None)
+    }
+
+    /// Runs the same (fg, bg) pairing under each static `policy` and
+    /// returns the results in policy order, equal to what
+    /// [`Self::run_pair_endless_bg`] would produce per policy.
+    ///
+    /// When eligible, the runs execute as one lockstep batch
+    /// ([`crate::sweep::run_lockstep`]): allocation never feeds back into
+    /// workload generation, so all lanes consume identical event streams
+    /// and share one generator via [`SharedTrace`], paying stream
+    /// generation once instead of once per policy. The batch falls back
+    /// to sequential runs when sharing would change observable behavior
+    /// or not pay for itself: a single policy, sampled fidelity (the
+    /// fast-forward path skips through private stream state), an attached
+    /// telemetry sink (per-run spans would interleave across lanes), or
+    /// full scale (the window for 13 lanes over a full-length run is
+    /// cheap, but full runs are rare and exactness there is sacred — keep
+    /// the battle-tested path).
+    pub fn run_pair_batch(&self, fg: &AppSpec, bg: &AppSpec, policies: &[PartitionPolicy]) -> Vec<PairResult> {
+        let lockstep_ok = policies.len() > 1
+            && self.cfg.fidelity == FidelityMode::Exact
+            && !telemetry::sink_attached()
+            && self.cfg.scale.work_div >= Scale::BENCH.work_div;
+        if !lockstep_ok {
+            return policies.iter().map(|&p| self.run_pair_endless_bg(fg, bg, p)).collect();
+        }
+
+        let cores = self.cfg.machine.cores;
+        let tpc = self.cfg.machine.threads_per_core;
+        let half_hts = cores / 2 * tpc;
+        let ways = self.cfg.machine.llc.ways;
+        let mut machines: Vec<Machine> = policies
+            .iter()
+            .map(|p| {
+                let (fg_mask, bg_mask) = p.masks(ways);
+                let mut machine = self.fresh_machine();
+                for core in 0..cores / 2 {
+                    machine.set_way_mask(core, fg_mask);
+                }
+                for core in cores / 2..cores {
+                    machine.set_way_mask(core, bg_mask);
+                }
+                machine
+            })
+            .collect();
+        self.attach_app_shared(&mut machines, fg, half_hts, 0, FG_ASID, false);
+        self.attach_app_shared(&mut machines, bg, half_hts, half_hts, BG_ASID, true);
+
+        let lanes: Vec<PairLane> = machines
+            .into_iter()
+            .zip(policies)
+            .map(|(machine, p)| {
+                let (fg_mask, _) = p.masks(ways);
+                PairLane {
+                    machine,
+                    meter: self.meter(),
+                    sampler: Sampler::new(self.cfg.sample_interval),
+                    mpki: MpkiSeries::new(),
+                    ways_trace: vec![(0, fg_mask.count())],
+                    quanta: 0,
+                    sched: self.cfg.fidelity.scheduler(),
+                }
+            })
+            .collect();
+
+        // One quantum per lane per round — the same loop body as
+        // `run_pair_inner`'s static path, minus telemetry (absent by the
+        // eligibility guard above).
+        crate::sweep::run_lockstep(lanes, |lane| {
+            if lane.machine.app_done(FG_ASID) || lane.quanta >= self.cfg.max_quanta {
+                return Some(lane.finish());
+            }
+            let act = lane.sched.step(&mut lane.machine);
+            lane.meter.on_quantum(&act);
+            if let Some(s) = lane.sampler.observe(lane.machine.now(), lane.machine.app_counters(FG_ASID)) {
+                lane.mpki.push_sample(&s);
+            }
+            lane.quanta += 1;
+            None
+        })
+    }
+
+    /// Like [`Self::attach_app`], but attaches one *shared* generator per
+    /// thread across all `machines`: each machine gets a
+    /// [`SharedTrace`] reader replaying the identical event sequence.
+    fn attach_app_shared(
+        &self,
+        machines: &mut [Machine],
+        spec: &AppSpec,
+        threads: usize,
+        first_ht: usize,
+        asid: u16,
+        endless: bool,
+    ) {
+        let effective = spec.effective_threads(threads);
+        for t in 0..effective {
+            let src: Box<dyn AccessStream> = if endless {
+                Box::new(spec.endless_stream(effective, t, asid, self.cfg.scale, self.cfg.seed ^ u64::from(asid)))
+            } else {
+                Box::new(spec.thread_stream(effective, t, asid, self.cfg.scale, self.cfg.seed ^ u64::from(asid)))
+            };
+            let readers = SharedTrace::share(src, machines.len());
+            for (machine, reader) in machines.iter_mut().zip(readers) {
+                machine.attach(first_ht + t, asid, Box::new(reader));
+            }
+        }
     }
 
     /// Like [`Self::run_pair_endless_bg`] but with the dynamic controller
@@ -407,8 +822,9 @@ impl Runner {
         let mut ways_trace = Vec::new();
         ways_trace.push((0, fg_mask.count()));
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
@@ -511,8 +927,9 @@ impl Runner {
         let mut sampler = Sampler::new(self.cfg.sample_interval);
         let mut mpki = MpkiSeries::new();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
@@ -557,8 +974,9 @@ impl Runner {
 
         let mut meter = self.meter();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while machine.any_active() && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             quanta += 1;
         }
@@ -603,8 +1021,9 @@ impl Runner {
         let mut sampler = Sampler::new(self.cfg.sample_interval);
         let mut mpki = MpkiSeries::new();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
@@ -657,8 +1076,9 @@ impl Runner {
         let mut sampler = Sampler::new(self.cfg.sample_interval);
         let mut mpki = MpkiSeries::new();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);
@@ -701,8 +1121,9 @@ impl Runner {
         let mut sampler = Sampler::new(self.cfg.sample_interval);
         let mut mpki = MpkiSeries::new();
         let mut quanta = 0u64;
+        let mut sched = self.cfg.fidelity.scheduler();
         while !machine.app_done(FG_ASID) && quanta < self.cfg.max_quanta {
-            let act = machine.run_quantum();
+            let act = sched.step(&mut machine);
             meter.on_quantum(&act);
             if let Some(s) = sampler.observe(machine.now(), machine.app_counters(FG_ASID)) {
                 mpki.push_sample(&s);

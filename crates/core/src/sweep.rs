@@ -105,9 +105,62 @@ where
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
+/// Advances a batch of independent simulation lanes in interleaved rounds
+/// on the calling thread, returning each lane's result in input order.
+///
+/// `step` runs one quantum of lane `i` and returns `Some(result)` when
+/// that lane finishes. Round-robin interleaving keeps all lanes within one
+/// quantum of each other, which is what lets them share a sliding-window
+/// workload trace (`sim::stream::SharedTrace`): the window only holds the
+/// events between the slowest and fastest lane instead of a full replay
+/// buffer per lane. Lanes that finish early are dropped immediately so
+/// their trace readers release the window.
+///
+/// This is the in-cell complement to [`run_sweep`]: `run_sweep` spreads
+/// independent cells across workers, `run_lockstep` batches the runs
+/// *inside* one cell that differ only in policy.
+pub fn run_lockstep<L, R>(lanes: Vec<L>, mut step: impl FnMut(&mut L) -> Option<R>) -> Vec<R> {
+    let n = lanes.len();
+    let mut live: Vec<Option<L>> = lanes.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut remaining = n;
+    while remaining > 0 {
+        for i in 0..n {
+            let Some(lane) = live[i].as_mut() else { continue };
+            if let Some(r) = step(lane) {
+                results[i] = Some(r);
+                live[i] = None; // drop now: frees the lane's trace readers
+                remaining -= 1;
+            }
+        }
+    }
+    results.into_iter().map(|r| r.expect("every lane finished")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lockstep_interleaves_and_orders() {
+        // Lane i needs i+1 steps; record the global step order to prove
+        // round-robin interleaving (not run-to-completion).
+        let mut order = Vec::new();
+        let lanes: Vec<(usize, usize)> = (0..4).map(|i| (i, i + 1)).collect();
+        let out = run_lockstep(lanes, |lane| {
+            order.push(lane.0);
+            lane.1 -= 1;
+            (lane.1 == 0).then_some(lane.0 * 10)
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(order, vec![0, 1, 2, 3, 1, 2, 3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn lockstep_empty() {
+        let out = run_lockstep(Vec::<u8>::new(), |_| Some(0));
+        assert!(out.is_empty());
+    }
 
     #[test]
     fn preserves_input_order() {

@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! reproduce [--scale test|bench|full] [--out DIR] [--trace PATH]...
-//!           [--metrics PATH] [ARTIFACT...]
+//! reproduce [--scale test|bench|full] [--fidelity exact|sampled[:D:S]]
+//!           [--out DIR] [--trace PATH]... [--metrics PATH] [ARTIFACT...]
 //! ```
 //!
 //! `ARTIFACT` is any of `fig1 table1 fig2 table2 fig3 fig4 fig5 fig6 fig7
@@ -14,6 +14,17 @@
 //! `$WAYPART_CACHE_DIR`), so a rerun — or an interrupted run resumed —
 //! only pays for measurements it has not seen before. Pass `--no-cache`
 //! to keep the cache in memory only. The final line reports hits/misses.
+//!
+//! ## Fidelity
+//!
+//! `--fidelity sampled` runs every figure with the SMARTS-style sampled
+//! engine (`sampled:D:S` picks a custom detail:skip schedule) — much
+//! faster, approximate results. Sampled configs hash differently, so
+//! they never collide with exact entries in the run cache. When `fig12`
+//! is among the artifacts, an exact-engine anchor run is replayed on the
+//! figure's full-capacity allocation and the measured MPKI/IPC error
+//! bars are printed alongside the figure (artifact
+//! `fig12_error_bars`); DESIGN.md §5e documents the error model.
 //!
 //! ## Telemetry
 //!
@@ -32,7 +43,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use waypart_core::runner::RunnerConfig;
+use waypart_core::runner::{FidelityMode, RunnerConfig};
 use waypart_experiments::*;
 use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink, SeriesSink};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
@@ -79,8 +90,28 @@ impl FigureTimer {
     }
 }
 
+/// Parses `--fidelity exact|sampled|sampled:D:S`.
+fn parse_fidelity(arg: &str) -> FidelityMode {
+    match arg {
+        "exact" => FidelityMode::Exact,
+        "sampled" => FidelityMode::sampled_default(),
+        other => {
+            let mut parts = other.splitn(3, ':');
+            let (Some("sampled"), Some(d), Some(s)) = (parts.next(), parts.next(), parts.next())
+            else {
+                panic!("unknown fidelity {other} (use exact|sampled|sampled:D:S)");
+            };
+            let detail_quanta: u32 = d.parse().expect("fidelity detail quanta");
+            let skip_quanta: u32 = s.parse().expect("fidelity skip quanta");
+            assert!(detail_quanta >= 1, "fidelity needs at least one detailed quantum per period");
+            FidelityMode::Sampled { detail_quanta, skip_quanta }
+        }
+    }
+}
+
 fn main() {
     let mut scale = "test".to_string();
+    let mut fidelity_arg = "exact".to_string();
     let mut out: Option<PathBuf> = None;
     let mut use_cache = true;
     let mut trace_paths: Vec<PathBuf> = Vec::new();
@@ -90,14 +121,15 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--fidelity" => fidelity_arg = args.next().expect("--fidelity needs a value"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a value"))),
             "--no-cache" => use_cache = false,
             "--trace" => trace_paths.push(PathBuf::from(args.next().expect("--trace needs a path"))),
             "--metrics" => metrics_path = Some(PathBuf::from(args.next().expect("--metrics needs a path"))),
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|bench|full] [--out DIR] [--no-cache] \
-                     [--trace PATH]... [--metrics PATH] [ARTIFACT...]"
+                    "usage: reproduce [--scale test|bench|full] [--fidelity exact|sampled[:D:S]] \
+                     [--out DIR] [--no-cache] [--trace PATH]... [--metrics PATH] [ARTIFACT...]"
                 );
                 return;
             }
@@ -116,13 +148,22 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    let cfg = match scale.as_str() {
+    let mut cfg = match scale.as_str() {
         "test" => RunnerConfig::test(),
         "bench" => RunnerConfig::bench(),
         "full" => RunnerConfig::full(),
         other => panic!("unknown scale {other} (use test|bench|full)"),
     };
-    let out_dir = out.unwrap_or_else(|| PathBuf::from("results").join(&scale));
+    cfg.fidelity = parse_fidelity(&fidelity_arg);
+    // Sampled artifacts are approximations; never let them overwrite the
+    // committed exact artifact set under `results/<scale>/`.
+    let out_dir = out.unwrap_or_else(|| {
+        if cfg.fidelity == FidelityMode::Exact {
+            PathBuf::from("results").join(&scale)
+        } else {
+            PathBuf::from("results").join(format!("{scale}-sampled"))
+        }
+    });
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     // Install the requested telemetry sinks. The Chrome format is the
@@ -158,7 +199,7 @@ fn main() {
     }
     let timer = FigureTimer::new();
 
-    let lab = if use_cache { Lab::persistent(cfg) } else { Lab::new(cfg) };
+    let lab = if use_cache { Lab::persistent(cfg.clone()) } else { Lab::new(cfg.clone()) };
     let started = std::time::Instant::now();
     let emit = |name: &str, text: String| {
         let path = out_dir.join(format!("{name}.txt"));
@@ -262,6 +303,41 @@ fn main() {
     }
     if wanted.contains("fig12") {
         emit("fig12", timer.run("fig12", || fig12::run(&lab)).render());
+        if cfg.fidelity != FidelityMode::Exact {
+            // Error bars: replay the figure's full-capacity solo run on
+            // the exact engine (one run — the sweep itself stays sampled)
+            // and report how far the sampled headline numbers drifted.
+            let bars = timer.run("fig12_error_bars", || {
+                let mut exact_cfg = cfg.clone();
+                exact_cfg.fidelity = FidelityMode::Exact;
+                let exact_lab = lab.sibling(exact_cfg);
+                let app = lab.app(fig12::APP).clone();
+                let ways = cfg.machine.llc.ways;
+                let sampled = lab.solo(&app, 1, ways);
+                let exact = exact_lab.solo(&app, 1, ways);
+                let pct = |s: f64, e: f64| if e == 0.0 { 0.0 } else { (s - e) / e * 100.0 };
+                format!(
+                    "fig12 sampled-vs-exact error bars ({} solo, {ways} ways, {:?}):\n\
+                     mean MPKI : sampled {:.4} vs exact {:.4} ({:+.1}%)\n\
+                     cum  MPKI : sampled {:.4} vs exact {:.4} ({:+.1}%)\n\
+                     IPC       : sampled {:.4} vs exact {:.4} ({:+.1}%)\n\
+                     (static sweep and dynamic trace above are sampled; \
+                     see DESIGN.md §5e for the error model)\n",
+                    fig12::APP,
+                    cfg.fidelity,
+                    sampled.mpki.mean(),
+                    exact.mpki.mean(),
+                    pct(sampled.mpki.mean(), exact.mpki.mean()),
+                    sampled.counters.mpki(),
+                    exact.counters.mpki(),
+                    pct(sampled.counters.mpki(), exact.counters.mpki()),
+                    sampled.counters.ipc(),
+                    exact.counters.ipc(),
+                    pct(sampled.counters.ipc(), exact.counters.ipc()),
+                )
+            });
+            emit("fig12_error_bars", bars);
+        }
     }
     if wanted.contains("ext_ucp") {
         emit("ext_ucp", timer.run("ext_ucp", || ext_ucp::run(&lab)).render());

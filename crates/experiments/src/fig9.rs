@@ -47,10 +47,23 @@ pub fn run_for(lab: &Lab, names: &[&str]) -> Fig9 {
         let fg = &specs[f];
         let bg = &specs[b];
         let solo = baselines[f];
-        let shared = lab.pair_endless_bg(fg, bg, PartitionPolicy::Shared);
-        let fair = lab.pair_endless_bg(fg, bg, PartitionPolicy::Fair);
+        // One cell = one pairing under shared, fair, and every biased
+        // split — policies that differ only in way masks, so run them as
+        // one lockstep batch over a shared workload trace. The biased
+        // search is non-adaptive (it sweeps all splits regardless of the
+        // results), so it can be fed from the pre-computed batch.
         let total_ways = lab.runner().config().machine.llc.ways;
-        let search = best_biased_with(total_ways, solo, |policy| lab.pair_endless_bg(fg, bg, policy));
+        let policies: Vec<PartitionPolicy> = [PartitionPolicy::Shared, PartitionPolicy::Fair]
+            .into_iter()
+            .chain((1..total_ways).map(|fg_ways| PartitionPolicy::Biased { fg_ways }))
+            .collect();
+        let runs = lab.pair_endless_bg_batch(fg, bg, &policies);
+        let shared = &runs[0];
+        let fair = &runs[1];
+        let search = best_biased_with(total_ways, solo, |policy| match policy {
+            PartitionPolicy::Biased { fg_ways } => runs[1 + fg_ways].clone(),
+            other => unreachable!("biased search requested {other:?}"),
+        });
         Fig9Cell {
             fg: fg.name.to_string(),
             bg: bg.name.to_string(),

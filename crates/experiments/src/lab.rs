@@ -123,6 +123,36 @@ impl Lab {
         self.cache.get_or_run(&key, || self.runner.run_pair_endless_bg(fg, bg, policy))
     }
 
+    /// The batch form of [`Self::pair_endless_bg`]: the same pairing
+    /// under each `policy`, results in policy order, cached under the
+    /// identical per-policy keys. Cached policies are served without
+    /// simulating; the misses run together through
+    /// [`Runner::run_pair_batch`], which lockstep-batches them over one
+    /// shared workload generator when eligible.
+    pub fn pair_endless_bg_batch(
+        &self,
+        fg: &AppSpec,
+        bg: &AppSpec,
+        policies: &[PartitionPolicy],
+    ) -> Vec<PairResult> {
+        let keys: Vec<String> = policies
+            .iter()
+            .map(|p| format!("pair|{}+{}|{}", fg.name, bg.name, serde::json::to_string(p)))
+            .collect();
+        let mut results: Vec<Option<PairResult>> =
+            keys.iter().map(|k| self.cache.lookup(k)).collect();
+        let missing: Vec<usize> = (0..policies.len()).filter(|&i| results[i].is_none()).collect();
+        if !missing.is_empty() {
+            let uncached: Vec<PartitionPolicy> = missing.iter().map(|&i| policies[i]).collect();
+            let fresh = self.runner.run_pair_batch(fg, bg, &uncached);
+            for (&i, res) in missing.iter().zip(fresh) {
+                self.cache.insert(&keys[i], &res);
+                results[i] = Some(res);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every policy resolved")).collect()
+    }
+
     /// A cached run-both-once pair run (consolidation energy accounting).
     pub fn pair_both_once(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> BothOnceResult {
         let key = format!("both|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&policy));
@@ -241,6 +271,50 @@ mod tests {
         let c = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 });
         assert!(c.fg_cycles > 0);
         assert_eq!(lab.cached_runs(), 2);
+    }
+
+    #[test]
+    fn pair_batch_matches_sequential_runs() {
+        // The lockstep batch must be invisible in the results: every
+        // field of every policy's PairResult identical to a private
+        // sequential run (JSON compare covers counters, energy, and the
+        // full MPKI series at once).
+        let seq_lab = Lab::new(RunnerConfig::test());
+        let batch_lab = Lab::new(RunnerConfig::test());
+        let fg = seq_lab.app("swaptions").clone();
+        let bg = seq_lab.app("dedup").clone();
+        let policies = [
+            PartitionPolicy::Shared,
+            PartitionPolicy::Fair,
+            PartitionPolicy::Biased { fg_ways: 3 },
+            PartitionPolicy::Biased { fg_ways: 11 },
+        ];
+        let batch = batch_lab.pair_endless_bg_batch(&fg, &bg, &policies);
+        assert_eq!(batch.len(), policies.len());
+        for (policy, batched) in policies.iter().zip(&batch) {
+            let sequential = seq_lab.pair_endless_bg(&fg, &bg, *policy);
+            assert_eq!(
+                serde::json::to_string(&sequential),
+                serde::json::to_string(batched),
+                "lockstep diverged under {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_batch_serves_cached_policies() {
+        let lab = Lab::new(RunnerConfig::test());
+        let fg = lab.app("swaptions").clone();
+        let bg = lab.app("dedup").clone();
+        let warm = lab.pair_endless_bg(&fg, &bg, PartitionPolicy::Fair);
+        let policies = [PartitionPolicy::Fair, PartitionPolicy::Biased { fg_ways: 8 }];
+        let batch = lab.pair_endless_bg_batch(&fg, &bg, &policies);
+        assert_eq!(batch[0].fg_cycles, warm.fg_cycles);
+        let stats = lab.cache_stats();
+        assert_eq!((stats.mem_hits, stats.misses), (1, 2), "only the biased run simulates");
+        // A repeat batch is fully served from cache.
+        lab.pair_endless_bg_batch(&fg, &bg, &policies);
+        assert_eq!(lab.cache_stats().mem_hits, 3);
     }
 
     #[test]

@@ -161,28 +161,52 @@ impl RunCache {
         T: Serialize + Deserialize,
         F: FnOnce() -> T,
     {
-        let key = format!("v{SCHEMA_VERSION}|{:016x}|{key_suffix}", self.cfg_hash);
+        if let Some(value) = self.lookup(key_suffix) {
+            return value;
+        }
+        let result = run();
+        self.insert(key_suffix, &result);
+        result
+    }
+
+    /// The lookup half of [`Self::get_or_run`]: returns the memoized
+    /// result for `key_suffix` (memory, then disk) or `None`. Counts a
+    /// hit when found and nothing otherwise — a batch caller probes many
+    /// keys, runs the misses together, and [`Self::insert`]s each, so
+    /// the hit/miss tallies come out the same as sequential
+    /// `get_or_run` calls would.
+    pub fn lookup<T: Serialize + Deserialize>(&self, key_suffix: &str) -> Option<T> {
+        let key = self.full_key(key_suffix);
 
         if let Some(text) = self.mem.lock().expect("run cache").get(&key) {
             let value = json::from_str::<T>(text).expect("corrupt in-memory cache entry");
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             self.emit_lookup(key_suffix, "mem_hit");
-            return value;
+            return Some(value);
         }
 
         if let Some(value) = self.load_disk::<T>(&key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             self.emit_lookup(key_suffix, "disk_hit");
-            return value;
+            return Some(value);
         }
+        None
+    }
 
-        let result = run();
+    /// The store half of [`Self::get_or_run`]: memoizes a freshly
+    /// computed result for `key_suffix` and counts the miss.
+    pub fn insert<T: Serialize>(&self, key_suffix: &str, value: &T) {
+        let key = self.full_key(key_suffix);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.emit_lookup(key_suffix, "miss");
-        let text = json::to_string(&result);
+        let text = json::to_string(value);
         self.store_disk(&key, &text);
         self.mem.lock().expect("run cache").insert(key, text);
-        result
+    }
+
+    /// Prepends the schema version and config hash to a caller key.
+    fn full_key(&self, key_suffix: &str) -> String {
+        format!("v{SCHEMA_VERSION}|{:016x}|{key_suffix}", self.cfg_hash)
     }
 
     /// Emits one `cache.lookup` telemetry event (wall-stamped: cache

@@ -187,34 +187,73 @@ impl SetAssocCache {
         self.probe_in(self.set_index(line), line, write)
     }
 
-    /// [`Self::probe`] with the set index already computed.
+    /// Branchless whole-set tag compare: builds an equality bitmask over
+    /// *every* way of the set (valid or not), ANDs it with the valid mask,
+    /// and extracts the hit way with one `trailing_zeros`.
     ///
-    /// The tag-compare loop uses unchecked indexing: every bit of
-    /// `meta[set].valid` is below `ways` by construction (bits are only
-    /// set in `fill_in`, whose way always comes from `allowed &
-    /// ways_bits`), so `base + way` is always in bounds. The bounds check
-    /// the compiler could not elide showed up in profiles of the demand
-    /// path.
+    /// This replaces the bit-serial walk (`trailing_zeros` + compare per
+    /// valid way) that dominated probe time: comparing all ways
+    /// unconditionally has no loop-carried branch, so the fixed-width
+    /// variants below unroll into straight-line compare/or chains the
+    /// backend can vectorize over the packed 16-byte [`LineState`] records.
+    ///
+    /// Correctness relies on two invariants:
+    /// * valid tags are unique within a set (fills happen only on misses),
+    ///   so `eq & valid` has at most one bit set and `trailing_zeros`
+    ///   yields the same way the serial first-match walk would;
+    /// * stale tags in invalid slots may compare equal, but the AND with
+    ///   `meta[set].valid` discards them.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.geom.ways;
+        debug_assert!(base + self.geom.ways <= self.lines.len());
+        // Fixed-width dispatch so the hot geometries (8-way L1/L2, 12-way
+        // LLC) compile to fully unrolled compare chains.
+        let eq = match self.geom.ways {
+            4 => self.eq_mask::<4>(base, tag),
+            8 => self.eq_mask::<8>(base, tag),
+            12 => self.eq_mask::<12>(base, tag),
+            16 => self.eq_mask::<16>(base, tag),
+            n => {
+                let mut eq = 0u32;
+                for w in 0..n {
+                    // SAFETY: `base + n <= lines.len()` (asserted above);
+                    // rows are `ways` long by construction.
+                    eq |= u32::from(unsafe { self.lines.get_unchecked(base + w) }.tag == tag) << w;
+                }
+                eq
+            }
+        };
+        let hit = eq & u32::from(self.meta[set].valid);
+        if hit != 0 {
+            Some(hit.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Fixed-width equality mask over `N` consecutive line records.
+    #[inline]
+    fn eq_mask<const N: usize>(&self, base: usize, tag: u64) -> u32 {
+        let mut eq = 0u32;
+        for w in 0..N {
+            // SAFETY: caller (`find_way`) checked `base + N <= lines.len()`.
+            eq |= u32::from(unsafe { self.lines.get_unchecked(base + w) }.tag == tag) << w;
+        }
+        eq
+    }
+
+    /// [`Self::probe`] with the set index already computed.
     #[inline]
     pub fn probe_in(&mut self, set: usize, line: LineAddr, write: bool) -> Option<usize> {
-        let base = set * self.geom.ways;
-        let mut rem = u32::from(self.meta[set].valid);
-        while rem != 0 {
-            let way = rem.trailing_zeros() as usize;
-            rem &= rem - 1;
-            debug_assert!(way < self.geom.ways && base + way < self.lines.len());
-            // SAFETY: `way` is a set bit of the valid mask, hence < ways;
-            // `set` was bounds-checked by the `meta[set]` access above.
-            let slot = unsafe { self.lines.get_unchecked_mut(base + way) };
-            if slot.tag == line.0 {
-                if write {
-                    slot.flags |= FLAG_DIRTY;
-                }
-                self.touch(set, way);
-                return Some(way);
-            }
+        let way = self.find_way(set, line.0)?;
+        if write {
+            let base = set * self.geom.ways;
+            // SAFETY: `way` came from `find_way`, hence < ways.
+            unsafe { self.lines.get_unchecked_mut(base + way) }.flags |= FLAG_DIRTY;
         }
-        None
+        self.touch(set, way);
+        Some(way)
     }
 
     /// Looks up `line` without disturbing replacement state or dirty bits.
@@ -226,18 +265,7 @@ impl SetAssocCache {
     /// [`Self::contains`] with the set index already computed.
     #[inline]
     pub fn contains_in(&self, set: usize, line: LineAddr) -> bool {
-        let base = set * self.geom.ways;
-        let mut rem = u32::from(self.meta[set].valid);
-        while rem != 0 {
-            let way = rem.trailing_zeros() as usize;
-            rem &= rem - 1;
-            debug_assert!(base + way < self.lines.len());
-            // SAFETY: valid-mask bits are < ways (see `probe_in`).
-            if unsafe { self.lines.get_unchecked(base + way) }.tag == line.0 {
-                return true;
-            }
-        }
-        false
+        self.find_way(set, line.0).is_some()
     }
 
     #[inline]
@@ -373,25 +401,15 @@ impl SetAssocCache {
     /// from inner caches) and for non-temporal stores.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
         let set = self.set_index(line);
+        let way = self.find_way(set, line.0)?;
         let base = set * self.geom.ways;
-        let mut rem = u32::from(self.meta[set].valid);
-        while rem != 0 {
-            let way = rem.trailing_zeros() as usize;
-            rem &= rem - 1;
-            debug_assert!(base + way < self.lines.len());
-            // SAFETY: valid-mask bits are < ways (see `probe_in`).
-            let ls = *unsafe { self.lines.get_unchecked(base + way) };
-            if ls.tag == line.0 {
-                unsafe { self.lines.get_unchecked_mut(base + way) }.flags &= !FLAG_VALID;
-                self.meta[set].valid &= !(1 << way);
-                return Some(Eviction {
-                    line,
-                    dirty: ls.flags & FLAG_DIRTY != 0,
-                    owner: ls.owner,
-                });
-            }
-        }
-        None
+        // SAFETY: `way` came from `find_way`, hence < ways.
+        let ls = unsafe { self.lines.get_unchecked_mut(base + way) };
+        let dirty = ls.flags & FLAG_DIRTY != 0;
+        let owner = ls.owner;
+        ls.flags &= !FLAG_VALID;
+        self.meta[set].valid &= !(1 << way);
+        Some(Eviction { line, dirty, owner })
     }
 
     /// Number of valid lines currently owned by `core`.

@@ -22,6 +22,11 @@ use crate::stream::{AccessStream, StreamEvent};
 use crate::waymask::WayMask;
 use crate::{CoreId, Cycles, HwThreadId};
 
+/// Events pulled per [`AccessStream::fill`] call. Large enough to amortize
+/// the virtual dispatch and the models' per-burst setup, small enough that
+/// a full buffer stays in the simulating machine's L1.
+const EVENT_BUF: usize = 256;
+
 /// One hardware thread's execution context.
 struct ThreadSlot {
     stream: Box<dyn AccessStream>,
@@ -29,6 +34,46 @@ struct ThreadSlot {
     done: bool,
     /// Cycles this thread overshot its previous quantum by.
     carry: f64,
+    /// Bulk event buffer; `buf[pos..len]` are generated-but-unconsumed
+    /// events that persist across quantum boundaries, so the per-quantum
+    /// cycle accounting is identical to the one-event-at-a-time engine.
+    buf: Box<[StreamEvent]>,
+    pos: usize,
+    len: usize,
+    /// Set when a `fill` came back short: the stream is exhausted and the
+    /// buffered tail is all that remains.
+    exhausted: bool,
+    /// Counter deltas of this thread's most recent *measurement* quantum;
+    /// warming and fast-forward quanta (sampled fidelity) extrapolate from
+    /// these rates.
+    rate: Option<HwCounters>,
+    /// Fractional counter remainders carried across fast-forward
+    /// extrapolations so long skips stay unbiased (one slot per
+    /// extrapolated counter field; see `fast_forward_thread`).
+    ff_frac: [f64; 9],
+    /// Instructions this thread has fallen behind the rate trajectory
+    /// (positive = behind). Warming quanta run slower than steady state
+    /// because they re-fill stale caches; fast-forwards recover the
+    /// deficit so sampled finish times track the extrapolated pace.
+    lag: i64,
+}
+
+impl ThreadSlot {
+    fn new(stream: Box<dyn AccessStream>, asid: u16) -> Self {
+        ThreadSlot {
+            stream,
+            asid,
+            done: false,
+            carry: 0.0,
+            buf: vec![StreamEvent::Done; EVENT_BUF].into_boxed_slice(),
+            pos: 0,
+            len: 0,
+            exhausted: false,
+            rate: None,
+            ff_frac: [0.0; 9],
+            lag: 0,
+        }
+    }
 }
 
 /// Activity summary for one quantum, consumed by the energy model.
@@ -62,6 +107,11 @@ pub struct Machine {
     now: Cycles,
     /// Cycle at which each asid's last thread finished.
     finish_times: std::collections::HashMap<u16, Cycles>,
+    /// When false, threads run the one-event-at-a-time loop instead of the
+    /// buffered drain. The two paths are semantically identical (the
+    /// equivalence harness pins this); the scalar path exists as the test
+    /// oracle and costs one branch per thread-quantum to keep compiled.
+    batching: bool,
 }
 
 impl Machine {
@@ -77,8 +127,16 @@ impl Machine {
             counters: vec![HwCounters::default(); n],
             now: 0,
             finish_times: std::collections::HashMap::new(),
+            batching: true,
             cfg,
         }
+    }
+
+    /// Selects between the buffered drain loop (default) and the scalar
+    /// one-event-at-a-time loop. The scalar path is the oracle the batched
+    /// engine is tested against; production code never turns it on.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
     }
 
     /// The machine's configuration.
@@ -99,7 +157,7 @@ impl Machine {
     pub fn attach(&mut self, ht: HwThreadId, asid: u16, stream: Box<dyn AccessStream>) {
         assert!(ht < self.threads.len(), "hardware thread {ht} out of range");
         assert!(self.threads[ht].is_none(), "hardware thread {ht} already occupied");
-        self.threads[ht] = Some(ThreadSlot { stream, asid, done: false, carry: 0.0 });
+        self.threads[ht] = Some(ThreadSlot::new(stream, asid));
         self.finish_times.remove(&asid);
     }
 
@@ -248,6 +306,26 @@ impl Machine {
     /// Advances every runnable thread by one quantum and updates the
     /// bandwidth models. Returns the quantum's activity summary.
     pub fn run_quantum(&mut self) -> QuantumActivity {
+        self.run_detailed_quantum(false)
+    }
+
+    /// A detailed quantum whose purpose is re-warming cache state after a
+    /// sampled-fidelity skip. Accesses walk the full hierarchy (restoring
+    /// cache, prefetcher, and bandwidth state), but each thread's
+    /// state-dependent counter deltas — misses, LLC traffic, prefetches —
+    /// are *replaced* by its measurement-rate extrapolation: the re-warm
+    /// miss burst is a sampling artifact, not application behavior, and
+    /// counting it would bias sampled MPKI far above exact. Instruction
+    /// and cycle progress stay as measured (they are real stream
+    /// position/time); the instruction shortfall versus the rate
+    /// trajectory accrues in `ThreadSlot::lag` and is recovered by the
+    /// next fast-forward. Rates are *not* recorded here — only
+    /// measurement quanta ([`Machine::run_quantum`]) update them.
+    pub fn run_quantum_warming(&mut self) -> QuantumActivity {
+        self.run_detailed_quantum(true)
+    }
+
+    fn run_detailed_quantum(&mut self, warming: bool) -> QuantumActivity {
         let quantum = self.cfg.quantum_cycles;
         let tpc = self.cfg.threads_per_core;
         let dram_before = self.dram.total_lines;
@@ -283,7 +361,10 @@ impl Machine {
                 if sibling_active { self.cfg.smt.compute_dilation } else { 1.0 };
 
             let before = self.counters[ht];
-            let finished = self.run_thread_quantum(ht, core, quantum, dilation);
+            let finished = self.run_thread_quantum(ht, core, quantum, dilation, !warming);
+            if warming {
+                self.rewrite_warm_delta(ht, &before);
+            }
             let delta = self.counters[ht].delta(&before);
             act.instructions += delta.instructions;
             act.llc_accesses += delta.llc_accesses;
@@ -308,8 +389,17 @@ impl Machine {
     }
 
     /// Runs thread `ht` for up to `quantum` cycles. Returns true if the
-    /// stream completed.
-    fn run_thread_quantum(&mut self, ht: HwThreadId, core: CoreId, quantum: Cycles, dilation: f64) -> bool {
+    /// stream completed. `record_rate` remembers this quantum's counter
+    /// deltas as the thread's extrapolation rates; warming quanta pass
+    /// false so a polluted post-skip quantum never becomes the rate.
+    fn run_thread_quantum(
+        &mut self,
+        ht: HwThreadId,
+        core: CoreId,
+        quantum: Cycles,
+        dilation: f64,
+        record_rate: bool,
+    ) -> bool {
         let budget = quantum as f64;
         let mask = self.msr.way_mask(core);
         let pf_mask = self.msr.prefetchers();
@@ -321,30 +411,264 @@ impl Machine {
         let cpi = slot.stream.base_cpi() * dilation;
         let mut used = slot.carry;
         let counters = &mut self.counters[ht];
+        let rate_before = *counters;
         let mut finished = false;
 
-        while used < budget {
-            match slot.stream.next_event() {
-                StreamEvent::Compute { instrs } => {
-                    counters.instructions += u64::from(instrs);
-                    used += f64::from(instrs) * cpi;
+        if self.batching {
+            // Drain buffered events; refill in bulk when the buffer runs
+            // dry. An event is consumed exactly when the scalar loop would
+            // have generated it (`used < budget`), and unconsumed buffered
+            // events carry over to the next quantum via `pos`, so the two
+            // paths execute the identical event sequence.
+            while used < budget {
+                if slot.pos == slot.len {
+                    if slot.exhausted {
+                        finished = true;
+                        break;
+                    }
+                    slot.len = slot.stream.fill(&mut slot.buf);
+                    slot.pos = 0;
+                    slot.exhausted = slot.len < slot.buf.len();
+                    if slot.len == 0 {
+                        finished = true;
+                        break;
+                    }
                 }
-                StreamEvent::Access { instr_gap, access } => {
-                    counters.instructions += u64::from(instr_gap) + 1;
-                    used += (f64::from(instr_gap) + 1.0) * cpi;
-                    let outcome =
-                        self.hierarchy.access(core, &access, mask, pf_mask, &mut self.ring, &mut self.dram);
-                    Self::charge(counters, &access, &outcome, store_stall, &mut used);
+                // SAFETY: `pos < len <= buf.len()` by the refill above.
+                let ev = unsafe { *slot.buf.get_unchecked(slot.pos) };
+                slot.pos += 1;
+                match ev {
+                    StreamEvent::Access { instr_gap, access } => {
+                        counters.instructions += u64::from(instr_gap) + 1;
+                        used += (f64::from(instr_gap) + 1.0) * cpi;
+                        let outcome = self
+                            .hierarchy
+                            .access(core, &access, mask, pf_mask, &mut self.ring, &mut self.dram);
+                        Self::charge(counters, &access, &outcome, store_stall, &mut used);
+                    }
+                    StreamEvent::Compute { instrs } => {
+                        counters.instructions += u64::from(instrs);
+                        used += f64::from(instrs) * cpi;
+                    }
+                    // `fill` never stores `Done`.
+                    StreamEvent::Done => unreachable!("Done event in bulk buffer"),
                 }
-                StreamEvent::Done => {
-                    finished = true;
-                    break;
+            }
+        } else {
+            while used < budget {
+                match slot.stream.next_event() {
+                    StreamEvent::Compute { instrs } => {
+                        counters.instructions += u64::from(instrs);
+                        used += f64::from(instrs) * cpi;
+                    }
+                    StreamEvent::Access { instr_gap, access } => {
+                        counters.instructions += u64::from(instr_gap) + 1;
+                        used += (f64::from(instr_gap) + 1.0) * cpi;
+                        let outcome = self
+                            .hierarchy
+                            .access(core, &access, mask, pf_mask, &mut self.ring, &mut self.dram);
+                        Self::charge(counters, &access, &outcome, store_stall, &mut used);
+                    }
+                    StreamEvent::Done => {
+                        finished = true;
+                        break;
+                    }
                 }
             }
         }
 
         slot.carry = (used - budget).max(0.0);
         counters.cycles += if finished { used.min(budget) as u64 } else { quantum };
+        if record_rate {
+            // Remember this quantum's rates for sampled-fidelity warming
+            // replacements and fast-forwards.
+            slot.rate = Some(counters.delta(&rate_before));
+        }
+        self.threads[ht] = Some(slot);
+        finished
+    }
+
+    /// Replaces thread `ht`'s state-dependent counter deltas from the
+    /// warming quantum that just ran (`before` = counters at its start)
+    /// with its measurement-rate extrapolation, scaled to the instructions
+    /// the quantum actually retired. Instructions, cycles, and L1 accesses
+    /// are exact functions of the stream position and stay as measured.
+    /// No-op for a thread with no recorded rate yet (e.g. the first
+    /// period's warm-up, which is exact anyway).
+    fn rewrite_warm_delta(&mut self, ht: HwThreadId, before: &HwCounters) {
+        let mut slot = self.threads[ht].take().expect("thread just ran");
+        let Some(rate) = slot.rate.filter(|r| r.instructions > 0) else {
+            self.threads[ht] = Some(slot);
+            return;
+        };
+        let counters = &mut self.counters[ht];
+        let delta = counters.delta(before);
+        slot.lag += rate.instructions as i64 - delta.instructions as i64;
+        let factor = delta.instructions as f64 / rate.instructions as f64;
+        let set = |dst: &mut u64, base: u64, per_quantum: u64, frac: &mut f64| {
+            let x = per_quantum as f64 * factor + *frac;
+            let whole = x.floor();
+            *dst = base + whole as u64;
+            *frac = x - whole;
+        };
+        set(&mut counters.l1_misses, before.l1_misses, rate.l1_misses, &mut slot.ff_frac[1]);
+        set(&mut counters.l2_misses, before.l2_misses, rate.l2_misses, &mut slot.ff_frac[2]);
+        set(&mut counters.llc_accesses, before.llc_accesses, rate.llc_accesses, &mut slot.ff_frac[3]);
+        set(&mut counters.llc_misses, before.llc_misses, rate.llc_misses, &mut slot.ff_frac[4]);
+        set(&mut counters.dram_writebacks, before.dram_writebacks, rate.dram_writebacks, &mut slot.ff_frac[5]);
+        set(&mut counters.prefetches_issued, before.prefetches_issued, rate.prefetches_issued, &mut slot.ff_frac[6]);
+        set(&mut counters.prefetch_hits, before.prefetch_hits, rate.prefetch_hits, &mut slot.ff_frac[7]);
+        set(&mut counters.non_temporal, before.non_temporal, rate.non_temporal, &mut slot.ff_frac[8]);
+        self.threads[ht] = Some(slot);
+    }
+
+    /// Advances every runnable thread by one quantum *without* simulating
+    /// its accesses — the sampled-fidelity fast-forward window.
+    ///
+    /// Each thread skips as many instructions as its most recent detailed
+    /// quantum retired (buffered events are consumed first, then the
+    /// stream's [`AccessStream::skip_instructions`]), and its counters
+    /// advance by that quantum's rates scaled to the instructions actually
+    /// skipped, with fractional remainders carried so long skips stay
+    /// unbiased. The ring/DRAM queue multipliers are *frozen* (no
+    /// `end_quantum`): contention state persists across the skip and the
+    /// next detailed window resumes under the measured load. A thread that
+    /// has never run a detailed quantum falls back to a detailed one.
+    ///
+    /// Deterministic: extrapolation is pure arithmetic and
+    /// `skip_instructions` is required to be deterministic. Approximations
+    /// (documented in DESIGN.md §5e): skipped accesses do not move cache,
+    /// prefetcher, or bandwidth state, and the workload models leave their
+    /// RNG position untouched while skipping.
+    pub fn fast_forward_quantum(&mut self) -> QuantumActivity {
+        let quantum = self.cfg.quantum_cycles;
+        let tpc = self.cfg.threads_per_core;
+        let dram_before = self.dram.total_lines;
+
+        debug_assert!(self.threads.len() <= 128, "thread bitmask limited to 128 hw threads");
+        let mut active = 0u128;
+        for (ht, s) in self.threads.iter().enumerate() {
+            if s.as_ref().map(|t| !t.done).unwrap_or(false) {
+                active |= 1 << ht;
+            }
+        }
+
+        let mut act = QuantumActivity { cycles: quantum, any_active: false, ..Default::default() };
+        let mut core_active = 0u128;
+
+        for ht in 0..self.threads.len() {
+            if active >> ht & 1 == 0 {
+                continue;
+            }
+            act.any_active = true;
+            act.active_threads += 1;
+            let core = ht / tpc;
+            core_active |= 1 << core;
+
+            let has_rate = self.threads[ht]
+                .as_ref()
+                .and_then(|s| s.rate)
+                .map(|r| r.instructions > 0)
+                .unwrap_or(false);
+            let before = self.counters[ht];
+            let (finished, extrapolated) = if has_rate {
+                (self.fast_forward_thread(ht, quantum), true)
+            } else {
+                let core_mask = (((1u128 << tpc) - 1) << (core * tpc)) & !(1u128 << ht);
+                let dilation =
+                    if active & core_mask != 0 { self.cfg.smt.compute_dilation } else { 1.0 };
+                (self.run_thread_quantum(ht, core, quantum, dilation, true), false)
+            };
+            let delta = self.counters[ht].delta(&before);
+            act.instructions += delta.instructions;
+            act.llc_accesses += delta.llc_accesses;
+            if extrapolated {
+                // Extrapolated DRAM traffic for the energy model (real
+                // traffic from the detailed fallback lands in the
+                // `total_lines` delta below).
+                act.dram_lines += delta.llc_misses + delta.dram_writebacks;
+            }
+
+            if finished {
+                let slot = self.threads[ht].as_mut().expect("active thread");
+                slot.done = true;
+                let asid = slot.asid;
+                if self.app_done(asid) {
+                    self.finish_times.insert(asid, self.now + quantum);
+                }
+            }
+        }
+
+        act.active_cores = core_active.count_ones() as usize;
+        act.dram_lines += self.dram.total_lines - dram_before;
+        self.now += quantum;
+        act
+    }
+
+    /// Fast-forwards one thread by its measurement quantum's instruction
+    /// count plus any accrued warming lag; returns true if the stream ran
+    /// out of work.
+    fn fast_forward_thread(&mut self, ht: HwThreadId, quantum: Cycles) -> bool {
+        let mut slot = self.threads[ht].take().expect("runnable thread");
+        let rate = slot.rate.expect("caller checked rate");
+        // Catch up to the rate trajectory: warming quanta retire fewer
+        // instructions than steady state (stale-cache stalls), and leaving
+        // that deficit in place would inflate sampled finish times by the
+        // warm-up tax once per period.
+        let target = (rate.instructions as i64 + slot.lag).max(1) as u64;
+
+        // Consume generated-but-unconsumed buffered events first: they are
+        // by construction the very next events the stream produces, so the
+        // stream position stays exact across the skip.
+        let mut advanced = 0u64;
+        let mut finished = false;
+        while advanced < target && slot.pos < slot.len {
+            match slot.buf[slot.pos] {
+                StreamEvent::Access { instr_gap, .. } => advanced += u64::from(instr_gap) + 1,
+                StreamEvent::Compute { instrs } => advanced += u64::from(instrs),
+                StreamEvent::Done => unreachable!("Done event in bulk buffer"),
+            }
+            slot.pos += 1;
+        }
+        if advanced < target {
+            if slot.exhausted {
+                finished = true;
+            } else {
+                let want = target - advanced;
+                let skipped = slot.stream.skip_instructions(want);
+                advanced += skipped;
+                if skipped < want {
+                    finished = true;
+                }
+            }
+        }
+
+        slot.lag += rate.instructions as i64 - advanced as i64;
+
+        let counters = &mut self.counters[ht];
+        counters.instructions += advanced;
+        // Counter extrapolation scales with instructions against the
+        // measured rate (catch-up quanta carry proportionally more
+        // misses); elapsed time scales against the quantum's own target.
+        let factor = advanced as f64 / rate.instructions as f64;
+        let quantum_frac = advanced as f64 / target as f64;
+        counters.cycles += if finished { (quantum as f64 * quantum_frac) as u64 } else { quantum };
+        let add = |dst: &mut u64, per_quantum: u64, frac: &mut f64| {
+            let x = per_quantum as f64 * factor + *frac;
+            let whole = x.floor();
+            *dst += whole as u64;
+            *frac = x - whole;
+        };
+        add(&mut counters.l1_accesses, rate.l1_accesses, &mut slot.ff_frac[0]);
+        add(&mut counters.l1_misses, rate.l1_misses, &mut slot.ff_frac[1]);
+        add(&mut counters.l2_misses, rate.l2_misses, &mut slot.ff_frac[2]);
+        add(&mut counters.llc_accesses, rate.llc_accesses, &mut slot.ff_frac[3]);
+        add(&mut counters.llc_misses, rate.llc_misses, &mut slot.ff_frac[4]);
+        add(&mut counters.dram_writebacks, rate.dram_writebacks, &mut slot.ff_frac[5]);
+        add(&mut counters.prefetches_issued, rate.prefetches_issued, &mut slot.ff_frac[6]);
+        add(&mut counters.prefetch_hits, rate.prefetch_hits, &mut slot.ff_frac[7]);
+        add(&mut counters.non_temporal, rate.non_temporal, &mut slot.ff_frac[8]);
+
         self.threads[ht] = Some(slot);
         finished
     }

@@ -206,16 +206,24 @@ impl PrefetchEngine {
             }
         }
         if !found {
-            // Allocate a new stream in the LRU slot.
-            let slot = self
-                .streams
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| if e.valid { self.clock.wrapping_sub(e.lru) as u64 } else { u64::MAX })
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            // Prefer an invalid slot outright.
-            let slot = self.streams.iter().position(|e| !e.valid).unwrap_or(slot);
+            // Allocate a new stream: the first invalid slot, else the
+            // valid slot with the smallest wrapping clock distance (first
+            // on ties). One pass replaces the `min_by_key` + `position`
+            // double scan — allocation runs on every unmatched L2 access,
+            // so this is the streamer's hot path.
+            let mut slot = usize::MAX;
+            let mut best_dist = u64::MAX;
+            for (i, e) in self.streams.iter().enumerate() {
+                if !e.valid {
+                    slot = i;
+                    break;
+                }
+                let dist = u64::from(self.clock.wrapping_sub(e.lru));
+                if dist < best_dist {
+                    best_dist = dist;
+                    slot = i;
+                }
+            }
             self.streams[slot] =
                 StreamEntry { asid: line.asid(), head: line.offset() + 1, confidence: 0, valid: true, lru: self.clock };
         }

@@ -62,6 +62,44 @@ pub trait AccessStream {
     /// must keep returning `Done`.
     fn next_event(&mut self) -> StreamEvent;
 
+    /// Bulk-generates upcoming events into `buf` and returns how many were
+    /// written. A return shorter than `buf.len()` means the stream is
+    /// exhausted: no event was available for the first unwritten slot, and
+    /// every later call must return 0. `Done` itself is never stored.
+    ///
+    /// The default forwards to [`Self::next_event`]; implementations with
+    /// cheap per-event state (the workload models) override it with a
+    /// native loop so the machine pays one virtual call per buffer instead
+    /// of one per access. Overrides must emit the byte-identical event
+    /// sequence `next_event` would — the golden fingerprints pin this.
+    fn fill(&mut self, buf: &mut [StreamEvent]) -> usize {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            match self.next_event() {
+                StreamEvent::Done => return i,
+                ev => *slot = ev,
+            }
+        }
+        buf.len()
+    }
+
+    /// Advances the stream past roughly `n` instructions without
+    /// materializing events — the sampled-fidelity fast-forward. Returns
+    /// the instructions actually skipped; fewer than `n` means the stream
+    /// ran out of work. Implementations may advance generator state
+    /// approximately (e.g. leave RNG position untouched) as long as the
+    /// result is deterministic; exact-mode runs never call this.
+    fn skip_instructions(&mut self, n: u64) -> u64 {
+        let mut skipped = 0u64;
+        while skipped < n {
+            match self.next_event() {
+                StreamEvent::Access { instr_gap, .. } => skipped += u64::from(instr_gap) + 1,
+                StreamEvent::Compute { instrs } => skipped += u64::from(instrs),
+                StreamEvent::Done => break,
+            }
+        }
+        skipped
+    }
+
     /// Cycles per instruction for compute (non-stalled) work.
     fn base_cpi(&self) -> f64;
 
@@ -70,6 +108,128 @@ pub trait AccessStream {
     /// expose progress such as phase position).
     fn instructions_issued(&self) -> u64 {
         0
+    }
+}
+
+/// A sliding window over one generator's event sequence, shared by the
+/// machines of a lockstep pair batch.
+///
+/// A policy sweep runs the same (fg, bg) workloads under N different way
+/// allocations. The event streams are pure functions of (app, scale,
+/// seed, thread) — allocation never feeds back into generation — so the
+/// N machines consume byte-identical sequences. Sharing one generator
+/// behind per-reader cursors makes the batch pay generation once instead
+/// of N times, and the window only retains events between the slowest
+/// and fastest reader (readers drift apart because different allocations
+/// retire different instruction counts per quantum). A dropped reader
+/// (its machine finished) stops holding the window back.
+///
+/// Single-threaded by construction (`Rc`): a batch's machines advance in
+/// lockstep rounds on one worker thread (`core::sweep::run_lockstep`).
+pub struct SharedTrace {
+    src: Box<dyn AccessStream>,
+    cpi: f64,
+    /// Absolute event index of `window[0]`.
+    base: u64,
+    window: std::collections::VecDeque<StreamEvent>,
+    /// The source returned a short fill: no events exist past the window.
+    src_exhausted: bool,
+    /// Per-reader absolute cursors; `u64::MAX` marks a dropped reader.
+    cursors: Vec<u64>,
+}
+
+impl SharedTrace {
+    /// Events pulled from the source per refill.
+    const GEN_CHUNK: usize = 256;
+
+    /// Wraps `src` and returns one reader per batch member. Each reader
+    /// replays the source's exact event sequence independently.
+    pub fn share(src: Box<dyn AccessStream>, readers: usize) -> Vec<SharedTraceReader> {
+        let cpi = src.base_cpi();
+        let trace = std::rc::Rc::new(std::cell::RefCell::new(SharedTrace {
+            src,
+            cpi,
+            base: 0,
+            window: std::collections::VecDeque::new(),
+            src_exhausted: false,
+            cursors: vec![0; readers],
+        }));
+        (0..readers).map(|id| SharedTraceReader { trace: trace.clone(), id }).collect()
+    }
+
+    fn fill_for(&mut self, id: usize, buf: &mut [StreamEvent]) -> usize {
+        let cursor = self.cursors[id];
+        let want_end = cursor + buf.len() as u64;
+        while !self.src_exhausted && self.base + (self.window.len() as u64) < want_end {
+            let mut chunk = [StreamEvent::Done; Self::GEN_CHUNK];
+            let n = self.src.fill(&mut chunk);
+            self.window.extend(chunk[..n].iter().copied());
+            if n < chunk.len() {
+                self.src_exhausted = true;
+            }
+        }
+        let avail_end = self.base + self.window.len() as u64;
+        let n = (want_end.min(avail_end).saturating_sub(cursor)) as usize;
+        let start = (cursor - self.base) as usize;
+        for (i, slot) in buf[..n].iter_mut().enumerate() {
+            *slot = self.window[start + i];
+        }
+        self.cursors[id] = cursor + n as u64;
+        self.evict();
+        n
+    }
+
+    /// Drops window events every reader has passed.
+    fn evict(&mut self) {
+        let min = self.cursors.iter().copied().filter(|&c| c != u64::MAX).min();
+        let keep_from = match min {
+            Some(m) => m.min(self.base + self.window.len() as u64),
+            // All readers dropped: nobody will read again.
+            None => self.base + self.window.len() as u64,
+        };
+        let drop = (keep_from - self.base) as usize;
+        if drop > 0 {
+            self.window.drain(..drop);
+            self.base += drop as u64;
+        }
+    }
+
+    fn release(&mut self, id: usize) {
+        self.cursors[id] = u64::MAX;
+        self.evict();
+    }
+}
+
+/// One batch member's view of a [`SharedTrace`]; replays the source's
+/// event sequence exactly. Dropping the reader releases its window claim.
+pub struct SharedTraceReader {
+    trace: std::rc::Rc<std::cell::RefCell<SharedTrace>>,
+    id: usize,
+}
+
+impl AccessStream for SharedTraceReader {
+    fn next_event(&mut self) -> StreamEvent {
+        let mut buf = [StreamEvent::Done; 1];
+        match self.fill(&mut buf) {
+            0 => StreamEvent::Done,
+            _ => buf[0],
+        }
+    }
+
+    fn fill(&mut self, buf: &mut [StreamEvent]) -> usize {
+        self.trace.borrow_mut().fill_for(self.id, buf)
+    }
+
+    fn base_cpi(&self) -> f64 {
+        // Constant per workload model; snapshotted at `share` time so the
+        // hot path skips the source dispatch.
+        self.trace.borrow().cpi
+    }
+}
+
+impl Drop for SharedTraceReader {
+    fn drop(&mut self) {
+        self.trace.borrow_mut().release(self.id);
     }
 }
 
@@ -141,5 +301,91 @@ mod tests {
         assert_eq!(lines, vec![0, 1, 2, 3, 0, 1]);
         assert_eq!(s.next_event(), StreamEvent::Done);
         assert_eq!(s.instructions_issued(), 66);
+    }
+
+    #[test]
+    fn default_fill_matches_next_event() {
+        let mut scalar = SequentialStream::new(1, 4, 6, 10);
+        let mut batched = SequentialStream::new(1, 4, 6, 10);
+        let mut buf = [StreamEvent::Done; 4];
+        let n = batched.fill(&mut buf);
+        assert_eq!(n, 4, "stream with 6 events must fill a 4-slot buffer");
+        for ev in &buf[..n] {
+            assert_eq!(*ev, scalar.next_event());
+        }
+        // Second fill drains the remaining 2 events and signals exhaustion.
+        let n = batched.fill(&mut buf);
+        assert_eq!(n, 2);
+        for ev in &buf[..n] {
+            assert_eq!(*ev, scalar.next_event());
+        }
+        assert_eq!(batched.fill(&mut buf), 0);
+    }
+
+    #[test]
+    fn shared_readers_replay_the_source_sequence() {
+        let mut solo = SequentialStream::new(1, 7, 40, 3);
+        let mut expected = Vec::new();
+        loop {
+            match solo.next_event() {
+                StreamEvent::Done => break,
+                ev => expected.push(ev),
+            }
+        }
+
+        let readers = SharedTrace::share(Box::new(SequentialStream::new(1, 7, 40, 3)), 3);
+        // Drain each reader at a different granularity: one event at a
+        // time, a small fill, and a fill larger than the window chunk.
+        let sizes = [1usize, 5, 300];
+        for (mut reader, size) in readers.into_iter().zip(sizes) {
+            let mut got = Vec::new();
+            let mut buf = vec![StreamEvent::Done; size];
+            loop {
+                let n = reader.fill(&mut buf);
+                got.extend_from_slice(&buf[..n]);
+                if n < buf.len() {
+                    break;
+                }
+            }
+            assert_eq!(got, expected);
+            assert_eq!(reader.fill(&mut buf), 0, "exhausted reader must stay exhausted");
+            assert_eq!(reader.next_event(), StreamEvent::Done);
+        }
+    }
+
+    #[test]
+    fn shared_window_tracks_the_slowest_reader() {
+        let mut readers = SharedTrace::share(Box::new(SequentialStream::new(1, 4, 2_000, 0)), 2);
+        let trace = readers[0].trace.clone();
+        let mut buf = [StreamEvent::Done; 64];
+        // Reader 0 races ahead; reader 1 stays at 0, pinning the window.
+        for _ in 0..8 {
+            assert_eq!(readers[0].fill(&mut buf), 64);
+        }
+        assert_eq!(trace.borrow().base, 0, "slow reader pins eviction");
+        assert!(trace.borrow().window.len() >= 512);
+        // Reader 1 advances partway: everything both passed is evicted.
+        for _ in 0..4 {
+            assert_eq!(readers[1].fill(&mut buf), 64);
+        }
+        assert_eq!(trace.borrow().base, 256);
+        // Dropping the laggard unpins the window for the fast reader.
+        let laggard = readers.pop().unwrap();
+        drop(laggard);
+        assert_eq!(trace.borrow().base, 512, "eviction catches up to the survivor");
+        assert_eq!(readers[0].fill(&mut buf), 64);
+        assert_eq!(trace.borrow().base, 512 + 64);
+    }
+
+    #[test]
+    fn default_skip_consumes_instructions() {
+        // 6 accesses of 11 instructions each = 66 total; skipping 30 lands
+        // mid-stream (event granularity), skipping the rest exhausts it.
+        let mut s = SequentialStream::new(1, 4, 6, 10);
+        let first = s.skip_instructions(30);
+        assert!((30..=33).contains(&first), "skipped {first}");
+        let rest = s.skip_instructions(1_000);
+        assert_eq!(first + rest, 66, "whole stream must be skippable");
+        assert_eq!(s.skip_instructions(5), 0, "exhausted stream skips nothing");
     }
 }

@@ -233,6 +233,73 @@ impl AccessStream for AppThreadStream {
         StreamEvent::Access { instr_gap: gap, access }
     }
 
+    /// Native bulk generation: one phase lookup per *burst* instead of per
+    /// event. The RNG draw order (gap, then the access's draws) and the
+    /// phase-boundary checks are identical to [`Self::next_event`], so the
+    /// emitted event sequence is byte-identical — the golden fingerprints
+    /// pin this.
+    fn fill(&mut self, buf: &mut [StreamEvent]) -> usize {
+        let mut i = 0;
+        'refill: while i < buf.len() {
+            if self.executed >= self.budget {
+                if self.endless && self.budget > 0 {
+                    self.laps += 1;
+                    self.executed = 0;
+                    self.phase_idx = 0;
+                } else {
+                    break;
+                }
+            }
+            let mix = self.current_mix();
+            // The burst may run until the next phase boundary (where
+            // `current_mix` would advance) or the end of the budget
+            // (where the lap/done check re-runs), whichever is first.
+            let burst_end = self
+                .phases
+                .get(self.phase_idx + 1)
+                .map_or(u64::MAX, |p| p.start_instr)
+                .min(self.budget);
+            while i < buf.len() {
+                let gap =
+                    if mix.mean_gap == 0 { 0 } else { self.rng.gen_range(0..=2 * mix.mean_gap) };
+                let access = self.gen_access(&mix);
+                self.executed += u64::from(gap) + 1;
+                buf[i] = StreamEvent::Access { instr_gap: gap, access };
+                i += 1;
+                if self.executed >= burst_end {
+                    continue 'refill;
+                }
+            }
+        }
+        i
+    }
+
+    /// Fast-forward for the sampled-fidelity mode: advances the
+    /// instruction position (including lap wraps) in O(phases) without
+    /// drawing from the RNG. The RNG and sequential cursor deliberately
+    /// stay put — after a skip the stream resumes generating from its
+    /// pre-skip pattern state, which is the documented functional-warming
+    /// approximation (DESIGN.md §5e); determinism is preserved because the
+    /// skip itself is a pure function of `n` and the current position.
+    fn skip_instructions(&mut self, n: u64) -> u64 {
+        let mut skipped = 0u64;
+        while skipped < n {
+            if self.executed >= self.budget {
+                if self.endless && self.budget > 0 {
+                    self.laps += 1;
+                    self.executed = 0;
+                    self.phase_idx = 0;
+                } else {
+                    break;
+                }
+            }
+            let step = (n - skipped).min(self.budget - self.executed);
+            self.executed += step;
+            skipped += step;
+        }
+        skipped
+    }
+
     fn base_cpi(&self) -> f64 {
         self.base_cpi
     }
@@ -376,6 +443,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn native_fill_matches_next_event_across_phases_and_laps() {
+        let small = PatternMix { seq_frac: 0.2, rand_frac: 0.6, ..PatternMix::compute(64 * 64, 500) };
+        let big = PatternMix { seq_frac: 0.5, rand_frac: 0.4, ..PatternMix::compute(1 << 22, 500) };
+        let spec = spec_with_phases(vec![
+            PhaseSpec { work_fraction: 0.3, mix: small },
+            PhaseSpec { work_fraction: 0.7, mix: big },
+        ]);
+        let scale = Scale { capacity_div: 1, work_div: 200 };
+        for endless in [false, true] {
+            let build = || {
+                if endless {
+                    spec.endless_stream(2, 1, 5, scale, 99)
+                } else {
+                    spec.thread_stream(2, 1, 5, scale, 99)
+                }
+            };
+            let mut scalar = build();
+            let mut batched = build();
+            // Odd buffer length so refills straddle phase/lap boundaries.
+            let mut buf = [StreamEvent::Done; 97];
+            let mut total = 0usize;
+            loop {
+                let n = batched.fill(&mut buf);
+                for (k, ev) in buf[..n].iter().enumerate() {
+                    assert_eq!(*ev, scalar.next_event(), "event {} diverged", total + k);
+                }
+                total += n;
+                if n < buf.len() {
+                    assert!(!endless, "endless stream returned a short fill");
+                    assert_eq!(scalar.next_event(), StreamEvent::Done);
+                    assert_eq!(batched.fill(&mut buf), 0);
+                    break;
+                }
+                if endless && batched.laps() >= 3 {
+                    break;
+                }
+            }
+            assert!(total > 500, "only {total} events compared");
+        }
+    }
+
+    #[test]
+    fn skip_instructions_is_deterministic_and_bounded() {
+        let spec = one_phase();
+        let scale = Scale { capacity_div: 1, work_div: 100 };
+        let run = |skips: &[u64]| {
+            let mut s = spec.thread_stream(1, 0, 5, scale, 7);
+            let skipped: Vec<u64> = skips.iter().map(|&n| s.skip_instructions(n)).collect();
+            let tail: Vec<String> =
+                (0..4).map(|_| format!("{:?}", s.next_event())).collect();
+            (skipped, s.instructions_issued(), tail)
+        };
+        let a = run(&[1_000, 3_000]);
+        let b = run(&[1_000, 3_000]);
+        assert_eq!(a, b, "skip must be deterministic");
+        assert_eq!(a.0, vec![1_000, 3_000], "mid-stream skips are exact");
+        // Skipping past the budget reports the shortfall.
+        let mut s = spec.thread_stream(1, 0, 5, scale, 7);
+        let total = s.skip_instructions(u64::MAX / 2);
+        assert!(total >= 10_000, "budget-sized skip too small: {total}");
+        assert_eq!(s.next_event(), StreamEvent::Done);
+        // Endless streams lap instead of stopping.
+        let mut e = spec.endless_stream(1, 0, 5, scale, 7);
+        let want = 5 * total + 17;
+        assert_eq!(e.skip_instructions(want), want);
+        assert!(e.laps() >= 4, "laps {} after skipping 5 budgets", e.laps());
     }
 
     #[test]

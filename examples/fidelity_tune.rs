@@ -1,0 +1,131 @@
+//! Scratch harness: prints sampled-vs-exact error for a grid of
+//! detail:skip schedules on the headline pair, plus wall time, so the
+//! default schedule can be chosen from data rather than guessed.
+
+use std::time::Instant;
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{FidelityMode, Runner, RunnerConfig};
+use waypart::workloads::registry;
+
+fn main() {
+    if std::env::args().any(|a| a == "--fig12") {
+        fig12_mode();
+        return;
+    }
+    if std::env::args().any(|a| a == "--bench") {
+        bench_mode();
+        return;
+    }
+    let fg = registry::by_name("canneal").expect("registered");
+    let bg = registry::by_name("462.libquantum").expect("registered");
+
+    let run = |fid: FidelityMode| {
+        let mut cfg = RunnerConfig::test();
+        cfg.fidelity = fid;
+        let runner = Runner::new(cfg);
+        let t = Instant::now();
+        let r = runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 });
+        (r, t.elapsed().as_secs_f64())
+    };
+
+    let (exact, exact_s) = run(FidelityMode::Exact);
+    if std::env::args().any(|a| a == "--trace") {
+        for (i, (instr, mpki)) in exact.fg_mpki.points().iter().enumerate() {
+            println!("w{i:02} instr={instr} mpki={mpki:.4}");
+        }
+    }
+    println!(
+        "exact: mpki={:.4} ipc={:.4} fg_cycles={} llcm={} secs={:.3}",
+        exact.fg_counters.mpki(),
+        exact.fg_counters.ipc(),
+        exact.fg_cycles,
+        exact.fg_counters.llc_misses,
+        exact_s
+    );
+
+    for (d, s) in [(1u32, 1u32), (1, 3), (1, 7), (1, 15), (1, 31), (2, 6), (2, 14), (2, 30), (3, 21), (4, 60)] {
+        let (r, secs) = run(FidelityMode::Sampled { detail_quanta: d, skip_quanta: s });
+        let mpki = r.fg_counters.mpki();
+        let ipc = r.fg_counters.ipc();
+        let mpki_err = (mpki - exact.fg_counters.mpki()).abs() / exact.fg_counters.mpki();
+        let ipc_err = (ipc - exact.fg_counters.ipc()).abs() / exact.fg_counters.ipc();
+        println!(
+            "{d:>2}:{s:<2} mpki={mpki:.4} ({:+6.1}%) ipc={ipc:.4} ({:+5.1}%) fg_cycles={} llcm={} secs={secs:.3}",
+            mpki_err * 100.0,
+            ipc_err * 100.0,
+            r.fg_cycles,
+            r.fg_counters.llc_misses,
+        );
+    }
+}
+
+/// Bench-scale probe: same run shape as `--fig12` but at `bench` scale
+/// (64× the instruction volume of `test`), where the warm-up prefix and
+/// phase transients amortize — the regime `reproduce` cold runs live in.
+fn bench_mode() {
+    let app = registry::by_name("429.mcf").expect("registered");
+    let run = |fid: FidelityMode| {
+        let mut cfg = RunnerConfig::bench();
+        cfg.fidelity = fid;
+        let runner = Runner::new(cfg);
+        let t = Instant::now();
+        let r = runner.run_solo(&app, 1, 12);
+        (r, t.elapsed().as_secs_f64())
+    };
+    let (exact, exact_s) = run(FidelityMode::Exact);
+    let em = exact.mpki.mean();
+    println!(
+        "exact: mean_mpki={em:.4} cum_mpki={:.4} windows={} cycles={} llcm={} secs={exact_s:.3}",
+        exact.counters.mpki(),
+        exact.mpki.len(),
+        exact.cycles,
+        exact.counters.llc_misses,
+    );
+    for (d, s) in [(1u32, 7u32), (1, 15), (1, 31), (1, 63), (2, 126)] {
+        let (r, secs) = run(FidelityMode::Sampled { detail_quanta: d, skip_quanta: s });
+        let m = r.mpki.mean();
+        println!(
+            "{d:>2}:{s:<3} mean_mpki={m:.4} ({:+5.1}%) cum_mpki={cum:.4} ({:+5.1}%) secs={secs:.3} speedup={:.1}x",
+            (m - em).abs() / em * 100.0,
+            (r.counters.mpki() - exact.counters.mpki()).abs() / exact.counters.mpki() * 100.0,
+            exact_s / secs,
+            cum = r.counters.mpki(),
+        );
+    }
+}
+
+/// Fig12-style probe: single-thread `429.mcf` solo at 12 ways — the
+/// sweep's dominant run shape — comparing series-mean MPKI and wall time.
+fn fig12_mode() {
+    let app = registry::by_name("429.mcf").expect("registered");
+    let run = |fid: FidelityMode| {
+        let mut cfg = RunnerConfig::test();
+        cfg.fidelity = fid;
+        let runner = Runner::new(cfg);
+        let t = Instant::now();
+        let r = runner.run_solo(&app, 1, 12);
+        (r, t.elapsed().as_secs_f64())
+    };
+    let (exact, exact_s) = run(FidelityMode::Exact);
+    let em = exact.mpki.mean();
+    println!(
+        "exact: mean_mpki={em:.4} cum_mpki={:.4} windows={} cycles={} llcm={} secs={exact_s:.3}",
+        exact.counters.mpki(),
+        exact.mpki.len(),
+        exact.cycles,
+        exact.counters.llc_misses,
+    );
+    for (d, s) in [(1u32, 7u32), (1, 15), (1, 31), (1, 63), (2, 30), (2, 62), (3, 21), (4, 60)] {
+        let (r, secs) = run(FidelityMode::Sampled { detail_quanta: d, skip_quanta: s });
+        let m = r.mpki.mean();
+        let cum = r.counters.mpki();
+        println!(
+            "{d:>2}:{s:<3} mean_mpki={m:.4} ({:+5.1}%) cum_mpki={cum:.4} ({:+5.1}%) cycles={} llcm={} secs={secs:.3} speedup={:.1}x",
+            (m - em).abs() / em * 100.0,
+            (cum - exact.counters.mpki()).abs() / exact.counters.mpki() * 100.0,
+            r.cycles,
+            r.counters.llc_misses,
+            exact_s / secs,
+        );
+    }
+}

@@ -5,6 +5,8 @@
 //! Usage: `cargo run --release --example profile_engine [pairloop] [iters]`
 //!   pairloop — repeated shared+biased pair runs (default mode)
 //!   sololoop — repeated solo runs
+//!   genloop  — bulk stream generation only (no hierarchy), isolating the
+//!              workload-model cost from the cache-walk cost
 //!
 //! Prints total wall seconds and a checksum of cycles so the optimizer
 //! cannot elide the work and A/B runs can be cross-checked for identical
@@ -13,6 +15,7 @@
 use std::time::Instant;
 use waypart::core::policy::PartitionPolicy;
 use waypart::core::runner::{Runner, RunnerConfig};
+use waypart::sim::stream::{AccessStream, StreamEvent};
 use waypart::workloads::registry;
 
 fn main() {
@@ -48,7 +51,74 @@ fn main() {
                 checksum = checksum.wrapping_add(r.cycles).wrapping_add(r.counters.llc_misses);
                 accesses += r.counters.l1_accesses;
             }
-            other => panic!("unknown mode `{other}` (pairloop|sololoop)"),
+            "genloop" => {
+                // Regenerate the solo run's 4 foreground streams and drain
+                // them through fill() with no hierarchy behind the buffer:
+                // measures pure stream-generation cost per event.
+                let cfg = RunnerConfig::test();
+                let mut buf = vec![StreamEvent::Done; 256];
+                for t in 0..4usize {
+                    let mut s = fg.thread_stream(4, t, 1, cfg.scale, cfg.seed ^ 1);
+                    loop {
+                        let n = s.fill(&mut buf);
+                        if n == 0 {
+                            break;
+                        }
+                        for ev in &buf[..n] {
+                            if let StreamEvent::Access { access, .. } = ev {
+                                checksum = checksum.wrapping_add(access.line.0);
+                                accesses += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            "hierloop" | "hierloop_nopf" => {
+                // Replay pre-generated accesses straight through the
+                // hierarchy: isolates the cache-walk cost from stream
+                // generation and the machine loop. `_nopf` additionally
+                // disables the prefetch engines to price them separately.
+                use waypart::sim::dram::DramModel;
+                use waypart::sim::hierarchy::Hierarchy;
+                use waypart::sim::msr::PrefetcherMask;
+                use waypart::sim::ring::RingModel;
+                use waypart::sim::waymask::WayMask;
+                let cfg = RunnerConfig::test();
+                let mut events = Vec::new();
+                let mut buf = vec![StreamEvent::Done; 256];
+                for t in 0..4usize {
+                    let mut s = fg.thread_stream(4, t, 1, cfg.scale, cfg.seed ^ 1);
+                    loop {
+                        let n = s.fill(&mut buf);
+                        if n == 0 {
+                            break;
+                        }
+                        for ev in &buf[..n] {
+                            if let StreamEvent::Access { access, .. } = ev {
+                                events.push((t, *access));
+                            }
+                        }
+                    }
+                }
+                let mcfg = cfg.machine;
+                let mut hier = Hierarchy::new(&mcfg);
+                let mut ring = RingModel::new(mcfg.ring);
+                let mut dram = DramModel::new(mcfg.dram);
+                let pf = if mode == "hierloop" {
+                    PrefetcherMask::all_enabled()
+                } else {
+                    PrefetcherMask::all_disabled()
+                };
+                let mask = WayMask::all(mcfg.llc.ways);
+                for (core, a) in &events {
+                    let o = hier.access(*core, a, mask, pf, &mut ring, &mut dram);
+                    checksum = checksum.wrapping_add(o.latency);
+                    accesses += 1;
+                }
+                ring.end_quantum(20_000);
+                dram.end_quantum(20_000);
+            }
+            other => panic!("unknown mode `{other}` (pairloop|sololoop|genloop|hierloop|hierloop_nopf)"),
         }
     }
     let secs = start.elapsed().as_secs_f64();

@@ -9,12 +9,15 @@
 #
 # Usage:
 #   scripts/bench.sh [--runs N] [--baseline-bin PATH] [--baseline-rev REV]
-#                    [--out FILE]
+#                    [--out FILE] [--micro]
 #
 #   --runs N           interleaved run pairs (default 5)
 #   --baseline-bin     pre-built `reproduce` binary to compare against
 #   --baseline-rev     git rev to build the baseline from (worktree build)
 #   --out              output JSON (default BENCH_sim.json)
+#   --micro            run only the engine kernel microbenches (probe+fill,
+#                      PLRU victim, bulk-vs-single stream generation) and
+#                      exit — no end-to-end timing, no history append
 #
 # With no baseline, only the current binary is timed (baseline fields
 # null). Offline-safe: builds only from the local checkout.
@@ -25,15 +28,22 @@ RUNS=5
 BASELINE_BIN=""
 BASELINE_REV=""
 OUT="BENCH_sim.json"
+MICRO=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --runs) RUNS=$2; shift 2 ;;
     --baseline-bin) BASELINE_BIN=$2; shift 2 ;;
     --baseline-rev) BASELINE_REV=$2; shift 2 ;;
     --out) OUT=$2; shift 2 ;;
+    --micro) MICRO=1; shift ;;
     *) echo "unknown arg: $1" >&2; exit 2 ;;
   esac
 done
+
+if [ "$MICRO" = 1 ]; then
+  echo "== engine kernel microbenches =="
+  exec cargo bench -p waypart-bench --bench engine
+fi
 
 echo "== building current binaries =="
 cargo build --release -p waypart-experiments --bin reproduce

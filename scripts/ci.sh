@@ -13,6 +13,31 @@ cd "$(dirname "$0")/.."
 QUICK=0
 [ "${1:-}" = "--quick" ] && QUICK=1
 
+echo "== cache schema <-> goldens consistency =="
+# The run cache replays results across commits, keyed by
+# `runcache::SCHEMA_VERSION`. Engine-semantics changes surface as golden
+# fingerprint diffs — and any commit range that changes the goldens
+# without bumping the schema would happily replay stale cached results
+# (and vice versa: a schema bump with unchanged goldens invalidates a
+# perfectly good cache). Enforce the iff. Base rev: $CI_BASE_REV, else
+# the parent commit; a rootless/shallow checkout skips with a note.
+BASE="${CI_BASE_REV:-HEAD~1}"
+if git rev-parse -q --verify "$BASE" >/dev/null 2>&1; then
+  GOLD_DIFF=$(git diff "$BASE" HEAD -- tests/golden_fingerprint.rs | grep -cE '^[+-].*(GOLDEN_|cycles=|l1m=)' || true)
+  SCHEMA_DIFF=$(git diff "$BASE" HEAD -- crates/experiments/src/runcache.rs | grep -c '^[+-]pub const SCHEMA_VERSION' || true)
+  if [ "$GOLD_DIFF" -gt 0 ] && [ "$SCHEMA_DIFF" -eq 0 ]; then
+    echo "FAIL: golden fingerprints changed since $BASE but runcache SCHEMA_VERSION did not — stale cache entries would replay" >&2
+    exit 1
+  fi
+  if [ "$GOLD_DIFF" -eq 0 ] && [ "$SCHEMA_DIFF" -gt 0 ]; then
+    echo "FAIL: runcache SCHEMA_VERSION changed since $BASE but golden fingerprints did not — needless cache invalidation (or missing golden update)" >&2
+    exit 1
+  fi
+  echo "goldens/schema in sync vs $BASE (golden diff lines: $GOLD_DIFF, schema diff lines: $SCHEMA_DIFF)"
+else
+  echo "note: base rev $BASE unavailable, skipping"
+fi
+
 echo "== build (release) =="
 cargo build --release --workspace
 
@@ -21,6 +46,14 @@ cargo test --release --workspace --lib -q
 
 echo "== determinism + golden fingerprints =="
 cargo test --release --test determinism --test golden_fingerprint --test invariants -q
+
+echo "== batched engine: scalar-oracle equivalence + sampled fidelity bounds =="
+# batch_equivalence: the batched hot path (bulk fill + SIMD probe +
+# lockstep pair batching) against the scalar engine under randomized
+# masks/placements/workloads. sampled_fidelity: the 1:7 sampled schedule
+# stays within 2% MPKI / 10% IPC of exact on the headline pair, and is
+# deterministic.
+cargo test --release --test batch_equivalence --test sampled_fidelity -q
 
 if [ "$QUICK" -eq 0 ]; then
   echo "== figure smoke + headline shape =="
@@ -73,18 +106,41 @@ cargo run --release -p waypart-experiments --bin report -- \
 grep -q "replayed from cache" "$TRACE_DIR/report_warm.html" \
   || { echo "FAIL: warm report lacks the cache banner" >&2; exit 1; }
 
+echo "== sampled reproduce smoke (error bars printed and bounded) =="
+# End-to-end: `--fidelity sampled` must produce the fig12 artifact plus
+# the sampled-vs-exact error-bar artifact, and the reported mean-MPKI
+# drift must stay within the documented test-scale envelope (±15%; the
+# tight 2% bound is asserted on the headline pair by sampled_fidelity —
+# the fig12 solo series is noisier because schedule alignment shifts
+# which windows are measured, DESIGN.md §5e).
+cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --no-cache --fidelity sampled --out "$TRACE_DIR/sampled" fig12 >/dev/null
+BARS="$TRACE_DIR/sampled/fig12_error_bars.txt"
+[ -s "$BARS" ] || { echo "FAIL: sampled run produced no fig12_error_bars.txt" >&2; exit 1; }
+MEAN_ERR=$(sed -n 's/.*mean MPKI.*(\([+-][0-9.]*\)%).*/\1/p' "$BARS")
+[ -n "$MEAN_ERR" ] || { echo "FAIL: could not parse mean-MPKI error from $BARS" >&2; exit 1; }
+awk -v e="$MEAN_ERR" 'BEGIN { if (e < 0) e = -e; exit !(e <= 15.0) }' \
+  || { echo "FAIL: sampled mean-MPKI error ${MEAN_ERR}% exceeds the 15% test-scale envelope" >&2; exit 1; }
+echo "sampled fig12 mean-MPKI error ${MEAN_ERR}% (within 15%)"
+
 echo "== perf sentry smoke (noise-aware regression gate) =="
-# Synthetic history around 100 s / 150 ns: +25% must flag, ±8% must pass.
+# Synthetic history around 100 s median / 300 s cold / 150 ns per
+# access: +25% on any default metric must flag, ±8% must pass.
 SENTRY_HIST="$TRACE_DIR/hist.jsonl"
-for v in "98.0 149.0" "100.0 151.0" "101.0 150.0" "99.5 152.0" "100.5 148.0"; do
+for v in "98.0 149.0 295.0" "100.0 151.0 302.0" "101.0 150.0 300.0" "99.5 152.0 298.0" "100.5 148.0 304.0"; do
   set -- $v
-  printf '{"current_median_s":%s,"engine_ns_per_access":%s}\n' "$1" "$2" >> "$SENTRY_HIST"
+  printf '{"current_median_s":%s,"engine_ns_per_access":%s,"current_cold_s":%s}\n' "$1" "$2" "$3" >> "$SENTRY_HIST"
 done
-printf '{"current_median_s":125.0,"engine_ns_per_access":150.0}\n' > "$TRACE_DIR/regressed.json"
-printf '{"current_median_s":108.0,"engine_ns_per_access":141.0}\n' > "$TRACE_DIR/jitter.json"
+printf '{"current_median_s":125.0,"engine_ns_per_access":150.0,"current_cold_s":300.0}\n' > "$TRACE_DIR/regressed.json"
+printf '{"current_median_s":100.0,"engine_ns_per_access":150.0,"current_cold_s":380.0}\n' > "$TRACE_DIR/cold_regressed.json"
+printf '{"current_median_s":108.0,"engine_ns_per_access":141.0,"current_cold_s":310.0}\n' > "$TRACE_DIR/jitter.json"
 if cargo run --release -p waypart-bench --bin sentry -- \
     --history "$SENTRY_HIST" --current "$TRACE_DIR/regressed.json" >/dev/null; then
-  echo "FAIL: sentry missed a +25% regression" >&2; exit 1
+  echo "FAIL: sentry missed a +25% warm-median regression" >&2; exit 1
+fi
+if cargo run --release -p waypart-bench --bin sentry -- \
+    --history "$SENTRY_HIST" --current "$TRACE_DIR/cold_regressed.json" >/dev/null; then
+  echo "FAIL: sentry missed a +27% cold-time regression" >&2; exit 1
 fi
 cargo run --release -p waypart-bench --bin sentry -- \
   --history "$SENTRY_HIST" --current "$TRACE_DIR/jitter.json" >/dev/null \

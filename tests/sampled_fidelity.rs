@@ -1,0 +1,66 @@
+//! Error-bound and determinism contract for `--fidelity sampled`.
+//!
+//! Sampled mode trades exactness for speed: fast-forward quanta replay
+//! each thread's most recent detailed rates instead of walking the
+//! hierarchy. The mode is only useful if the sampled headline numbers
+//! stay close to the exact ones, so this test pins the bound at test
+//! scale: mean MPKI across the headline pair must be within 2% of the
+//! exact run, and repeating the sampled run must be bit-identical
+//! (the schedule is deterministic, not randomized).
+
+use waypart::core::policy::PartitionPolicy;
+use waypart::core::runner::{FidelityMode, PairResult, Runner, RunnerConfig};
+use waypart::workloads::registry;
+
+fn run_pair(fidelity: FidelityMode) -> PairResult {
+    let mut cfg = RunnerConfig::test();
+    cfg.fidelity = fidelity;
+    let runner = Runner::new(cfg);
+    let fg = registry::by_name("canneal").expect("registered");
+    let bg = registry::by_name("462.libquantum").expect("registered");
+    runner.run_pair_endless_bg(&fg, &bg, PartitionPolicy::Biased { fg_ways: 8 })
+}
+
+fn rel_err(sampled: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        sampled.abs()
+    } else {
+        (sampled - exact).abs() / exact
+    }
+}
+
+#[test]
+fn sampled_mpki_within_two_percent_of_exact() {
+    let exact = run_pair(FidelityMode::Exact);
+    let sampled = run_pair(FidelityMode::sampled_default());
+
+    let err = rel_err(sampled.fg_counters.mpki(), exact.fg_counters.mpki());
+    assert!(
+        err <= 0.02,
+        "sampled fg MPKI off by {:.2}% (sampled {:.4} vs exact {:.4}) — \
+         exceeds the 2% bound; retune the detail:skip schedule",
+        err * 100.0,
+        sampled.fg_counters.mpki(),
+        exact.fg_counters.mpki(),
+    );
+
+    // IPC is reported alongside MPKI in the error bars; hold it to a
+    // looser sanity bound so the headline plot stays meaningful.
+    let ipc_err = rel_err(sampled.fg_counters.ipc(), exact.fg_counters.ipc());
+    assert!(
+        ipc_err <= 0.10,
+        "sampled fg IPC off by {:.2}% (sampled {:.4} vs exact {:.4})",
+        ipc_err * 100.0,
+        sampled.fg_counters.ipc(),
+        exact.fg_counters.ipc(),
+    );
+}
+
+#[test]
+fn sampled_runs_are_deterministic() {
+    let a = run_pair(FidelityMode::sampled_default());
+    let b = run_pair(FidelityMode::sampled_default());
+    assert_eq!(a.fg_counters, b.fg_counters, "sampled rerun diverged (fg counters)");
+    assert_eq!(a.fg_cycles, b.fg_cycles, "sampled rerun diverged (fg cycles)");
+    assert_eq!(a.bg_instructions, b.bg_instructions, "sampled rerun diverged (bg instructions)");
+}
