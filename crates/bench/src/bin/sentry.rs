@@ -8,8 +8,8 @@
 //! Each history line is one benchmarking session's JSON record (the
 //! `BENCH_sim.json` object plus `at`/`rev`, appended by
 //! `scripts/bench.sh`). For every `--metric` (default
-//! `current_median_s`, `current_cold_s`, and `engine_ns_per_access`;
-//! higher = worse) the
+//! `current_median_s`, `current_cold_s`, `sharded_cold_s`, and
+//! `engine_ns_per_access`; higher = worse) the
 //! sentry compares the newest measurement against the older history
 //! using the median + MAD rule in [`waypart_bench::sentry`], calibrated
 //! to the environment's ±10% wall-clock noise. Without `--current`, the
@@ -94,9 +94,16 @@ fn main() -> ExitCode {
         // Cold time is the headline this engine optimizes (run-cache off,
         // every measurement simulated); the warm median and raw engine
         // ns/access catch regressions the cache would otherwise mask.
+        // `sharded_cold_s` is the `--jobs N` cold wall-clock — it guards
+        // the worker protocol itself (claim churn, peer-wait backoff),
+        // which can regress even when single-process cold time is flat.
+        // Records that predate a metric simply don't vote: absent keys
+        // are filtered from the history and skipped in the current
+        // measurement, so adding metrics never breaks old histories.
         metrics = vec![
             "current_median_s".to_string(),
             "current_cold_s".to_string(),
+            "sharded_cold_s".to_string(),
             "engine_ns_per_access".to_string(),
         ];
     }

@@ -4,6 +4,9 @@
 //! `probe trace [FG [BG]]` runs a dynamically-partitioned pair with a
 //! telemetry collector attached and dumps the controller's decision log —
 //! one line per sampling window, with the phase verdict and allocation.
+//! The cache-backed subcommands (`fig11`, `fig13`) accept `--shard K/N`
+//! to act as one worker of a sharded sweep over the persistent run cache
+//! (same protocol as `reproduce --shard`; see DESIGN.md §5f).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -11,9 +14,14 @@ use std::sync::Arc;
 use waypart_core::dynamic::DynamicConfig;
 use waypart_core::policy::PartitionPolicy;
 use waypart_core::runner::{Runner, RunnerConfig};
+use waypart_core::sweep::ShardSpec;
 use waypart_telemetry::sinks::CollectingSink;
 use waypart_telemetry::{self as telemetry, FieldValue};
 use waypart_workloads::{registry, AppSpec};
+
+const USAGE: &str =
+    "usage: probe [dynamic|trace|energy|solo|sweep|fig11|fig13] [--shard K/N] [ARGS...]\n\
+  --shard K/N  (fig11/fig13 only) simulate only shard K of N over the shared run cache";
 
 /// Looks `name` up in the registry; on failure prints every known app
 /// (instead of panicking with an unhelpful `unwrap` backtrace) and exits.
@@ -30,8 +38,31 @@ fn lookup(name: &str) -> Result<AppSpec, ExitCode> {
     }
 }
 
-fn arg_or(n: usize, default: &str) -> String {
-    std::env::args().nth(n).unwrap_or_else(|| default.into())
+/// Extracts a validated `--shard K/N` from argv, returning the remaining
+/// positional args. A malformed spec is a usage error (nonzero exit),
+/// never a panic or a silent full-grid run.
+fn parse_args() -> Result<(Vec<String>, Option<ShardSpec>), ExitCode> {
+    let mut positional = Vec::new();
+    let mut shard = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shard" {
+            let Some(spec) = args.next() else {
+                eprintln!("probe: --shard needs a K/N value\n{USAGE}");
+                return Err(ExitCode::from(2));
+            };
+            match ShardSpec::parse(&spec) {
+                Ok(s) => shard = Some(s),
+                Err(e) => {
+                    eprintln!("probe: bad --shard `{spec}`: {e}\n{USAGE}");
+                    return Err(ExitCode::from(2));
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    Ok((positional, shard))
 }
 
 fn main() -> ExitCode {
@@ -42,12 +73,29 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), ExitCode> {
-    let which = arg_or(1, "dynamic");
+    let (args, shard) = parse_args()?;
+    let arg_or = |n: usize, default: &str| -> String {
+        args.get(n).cloned().unwrap_or_else(|| default.into())
+    };
+    let which = arg_or(0, "dynamic");
+    if shard.is_some() && !matches!(which.as_str(), "fig11" | "fig13") {
+        eprintln!("probe: `{which}` runs the runner directly (no run cache) — --shard only applies to fig11/fig13\n{USAGE}");
+        return Err(ExitCode::from(2));
+    }
+    /// Builds the lab the fig subcommands measure through: sharded probes
+    /// must share the persistent store so peers can exchange results.
+    fn fig_lab(shard: Option<ShardSpec>) -> waypart_experiments::Lab {
+        use waypart_experiments::Lab;
+        match shard {
+            Some(spec) => Lab::persistent(RunnerConfig::test()).with_shard(spec),
+            None => Lab::new(RunnerConfig::test()),
+        }
+    }
     let runner = Runner::new(RunnerConfig::test());
     match which.as_str() {
         "dynamic" => {
-            let fg = lookup(&arg_or(2, "429.mcf"))?;
-            let bg = lookup(&arg_or(3, "swaptions"))?;
+            let fg = lookup(&arg_or(1, "429.mcf"))?;
+            let bg = lookup(&arg_or(2, "swaptions"))?;
             let res = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
             println!("fg_cycles {} reallocs {}", res.fg_cycles, res.reallocations);
             println!("ways trace: {:?}", res.fg_ways_trace.iter().map(|p| p.1).collect::<Vec<_>>());
@@ -57,8 +105,8 @@ fn run() -> Result<(), ExitCode> {
             }
         }
         "trace" => {
-            let fg = lookup(&arg_or(2, "429.mcf"))?;
-            let bg = lookup(&arg_or(3, "swaptions"))?;
+            let fg = lookup(&arg_or(1, "429.mcf"))?;
+            let bg = lookup(&arg_or(2, "swaptions"))?;
             let sink = Arc::new(CollectingSink::new());
             telemetry::set_sink(sink.clone());
             let res = runner.run_pair_dynamic(&fg, &bg, DynamicConfig::paper());
@@ -119,7 +167,7 @@ fn run() -> Result<(), ExitCode> {
             }
         }
         "solo" => {
-            let name = arg_or(2, "429.mcf");
+            let name = arg_or(1, "429.mcf");
             let app = lookup(&name)?;
             for ways in 1..=12 {
                 let r = runner.run_solo(&app, 4, ways);
@@ -133,8 +181,8 @@ fn run() -> Result<(), ExitCode> {
             }
         }
         "sweep" => {
-            let fg = lookup(&arg_or(2, "429.mcf"))?;
-            let bg = lookup(&arg_or(3, "429.mcf"))?;
+            let fg = lookup(&arg_or(1, "429.mcf"))?;
+            let bg = lookup(&arg_or(2, "429.mcf"))?;
             let solo = runner.run_solo(&fg, 4, 12).cycles;
             let search = waypart_core::static_search::best_biased(&runner, &fg, &bg, solo);
             for (w, s) in &search.slowdowns {
@@ -143,8 +191,8 @@ fn run() -> Result<(), ExitCode> {
             println!("winner: {} ways", search.fg_ways);
         }
         "fig11" => {
-            use waypart_experiments::{fig10, fig11, fig9, Lab};
-            let lab = Lab::new(RunnerConfig::test());
+            use waypart_experiments::{fig10, fig11, fig9};
+            let lab = fig_lab(shard);
             let f9 = fig9::run(&lab);
             let f10 = fig10::run(&lab, &f9);
             let f11 = fig11::run(&f10);
@@ -162,8 +210,8 @@ fn run() -> Result<(), ExitCode> {
             println!("avg shared {:.3} fair {:.3} biased {:.3}", s.mean, f.mean, b.mean);
         }
         "fig13" => {
-            use waypart_experiments::{fig13, fig9, Lab};
-            let lab = Lab::new(RunnerConfig::test());
+            use waypart_experiments::{fig13, fig9};
+            let lab = fig_lab(shard);
             let f9 = fig9::run(&lab);
             let f13 = fig13::run(&lab, &f9);
             for c in &f13.cells {

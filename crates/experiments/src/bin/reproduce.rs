@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [--scale test|bench|full] [--fidelity exact|sampled[:D:S]]
-//!           [--out DIR] [--trace PATH]... [--metrics PATH] [ARTIFACT...]
+//!           [--out DIR] [--trace PATH]... [--metrics PATH]
+//!           [--shard K/N | --jobs N | --merge] [ARTIFACT...]
 //! ```
 //!
 //! `ARTIFACT` is any of `fig1 table1 fig2 table2 fig3 fig4 fig5 fig6 fig7
@@ -26,6 +27,21 @@
 //! bars are printed alongside the figure (artifact
 //! `fig12_error_bars`); DESIGN.md §5e documents the error model.
 //!
+//! ## Sharding
+//!
+//! `--shard K/N` runs this process as worker K of N: it walks the whole
+//! figure pipeline but only *simulates* the cache keys whose stable hash
+//! lands in its slice (`hash % N == K-1` — an exact disjoint cover of
+//! the run grid regardless of figure structure); misses owned by other
+//! workers are awaited from the shared disk cache (claim files stop two
+//! workers duplicating a shared dependency). Worker artifacts, traces,
+//! and a `stats.json` land in a per-shard spool under
+//! `<cache>/spool/K-of-N/`. `--merge` replays the now-warm cache to emit
+//! byte-identical artifacts and folds the spooled stats and telemetry
+//! aggregates. `--jobs N` does both: forks N local workers and merges
+//! when they finish. Sharding requires the disk cache (`--no-cache`
+//! is rejected); DESIGN.md §5f documents the protocol.
+//!
 //! ## Telemetry
 //!
 //! `--trace PATH` (repeatable) streams the structured event log of the
@@ -44,9 +60,37 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use waypart_core::runner::{FidelityMode, RunnerConfig};
+use waypart_core::sweep::ShardSpec;
 use waypart_experiments::*;
 use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink, SeriesSink};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
+
+const USAGE: &str = "usage: reproduce [--scale test|bench|full] \
+[--fidelity exact|sampled[:D:S]] [--out DIR] [--no-cache] [--trace PATH]... \
+[--metrics PATH] [--shard K/N | --jobs N | --merge] [ARTIFACT...]\n\
+  --shard K/N  run worker K of N over the shared run cache (1 <= K <= N)\n\
+  --jobs N     fork N local shard workers, then merge (requires the disk cache)\n\
+  --merge      replay the warm cache and fold per-shard spools";
+
+/// Prints a flag error plus the usage block and exits nonzero — flag
+/// mistakes must never panic or silently run the full grid.
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The cache directory `Lab::persistent` will use — needed up front to
+/// place the per-shard spool directories.
+fn cache_dir() -> PathBuf {
+    std::env::var_os("WAYPART_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results").join("cache"))
+}
+
+/// The spool directory of one worker: `<cache>/spool/<K-of-N>/`.
+fn spool_dir(shard: ShardSpec) -> PathBuf {
+    cache_dir().join("spool").join(shard.label())
+}
 
 /// Wraps each artifact's computation in a wall-stamped `figure.run` span
 /// and remembers the per-figure seconds for the metrics file.
@@ -117,6 +161,9 @@ fn main() {
     let mut trace_paths: Vec<PathBuf> = Vec::new();
     let mut metrics_path: Option<PathBuf> = None;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut shard: Option<ShardSpec> = None;
+    let mut jobs: Option<u32> = None;
+    let mut merge = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -126,17 +173,35 @@ fn main() {
             "--no-cache" => use_cache = false,
             "--trace" => trace_paths.push(PathBuf::from(args.next().expect("--trace needs a path"))),
             "--metrics" => metrics_path = Some(PathBuf::from(args.next().expect("--metrics needs a path"))),
+            "--shard" => {
+                let spec = args.next().unwrap_or_else(|| fail_usage("--shard needs a K/N value"));
+                match ShardSpec::parse(&spec) {
+                    Ok(s) => shard = Some(s),
+                    Err(e) => fail_usage(&format!("bad --shard `{spec}`: {e}")),
+                }
+            }
+            "--jobs" => {
+                let n = args.next().unwrap_or_else(|| fail_usage("--jobs needs a worker count"));
+                match n.parse::<u32>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => fail_usage(&format!("bad --jobs `{n}`: need an integer >= 1")),
+                }
+            }
+            "--merge" => merge = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: reproduce [--scale test|bench|full] [--fidelity exact|sampled[:D:S]] \
-                     [--out DIR] [--no-cache] [--trace PATH]... [--metrics PATH] [ARTIFACT...]"
-                );
+                println!("{USAGE}");
                 return;
             }
             other => {
                 wanted.insert(other.to_string());
             }
         }
+    }
+    if shard.is_some() && (jobs.is_some() || merge) {
+        fail_usage("--shard is a worker-only flag; it cannot combine with --jobs/--merge");
+    }
+    if (shard.is_some() || jobs.is_some() || merge) && !use_cache {
+        fail_usage("sharding coordinates through the disk cache; drop --no-cache");
     }
     if wanted.is_empty() || wanted.contains("all") {
         wanted = [
@@ -156,15 +221,65 @@ fn main() {
     };
     cfg.fidelity = parse_fidelity(&fidelity_arg);
     // Sampled artifacts are approximations; never let them overwrite the
-    // committed exact artifact set under `results/<scale>/`.
-    let out_dir = out.unwrap_or_else(|| {
-        if cfg.fidelity == FidelityMode::Exact {
-            PathBuf::from("results").join(&scale)
-        } else {
-            PathBuf::from("results").join(format!("{scale}-sampled"))
-        }
-    });
+    // committed exact artifact set under `results/<scale>/`. A worker's
+    // artifacts go to its spool — only the merge step writes the real
+    // output directory.
+    let out_dir = match shard {
+        Some(spec) => spool_dir(spec),
+        None => out.unwrap_or_else(|| {
+            if cfg.fidelity == FidelityMode::Exact {
+                PathBuf::from("results").join(&scale)
+            } else {
+                PathBuf::from("results").join(format!("{scale}-sampled"))
+            }
+        }),
+    };
     std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    // Coordinator: fork the workers, wait for all of them, then fall
+    // through to the merge pass over the warm cache.
+    if let Some(n) = jobs {
+        let exe = std::env::current_exe().expect("locate reproduce binary");
+        let mut children = Vec::new();
+        for index in 1..=n {
+            let spec = ShardSpec { index, count: n };
+            let spool = spool_dir(spec);
+            // Stale spools would fold into the merge; start clean.
+            let _ = std::fs::remove_dir_all(&spool);
+            std::fs::create_dir_all(&spool).expect("create shard spool");
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--scale")
+                .arg(&scale)
+                .arg("--fidelity")
+                .arg(&fidelity_arg)
+                .arg("--shard")
+                .arg(spec.to_string())
+                .arg("--trace")
+                .arg(spool.join("trace.jsonl"))
+                .arg("--metrics")
+                .arg(spool.join("metrics.json"))
+                .args(wanted.iter())
+                .stdout(std::process::Stdio::null());
+            let child = cmd.spawn().unwrap_or_else(|e| {
+                eprintln!("reproduce: failed to spawn worker {spec}: {e}");
+                std::process::exit(1);
+            });
+            println!("spawned shard worker {spec} (pid {})", child.id());
+            children.push((spec, child));
+        }
+        let mut failed = false;
+        for (spec, mut child) in children {
+            let status = child.wait().expect("wait for shard worker");
+            if !status.success() {
+                eprintln!("reproduce: shard worker {spec} failed: {status}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        merge = true;
+    }
 
     // Install the requested telemetry sinks. The Chrome format is the
     // default; a `.jsonl` suffix selects the line-delimited event schema.
@@ -199,7 +314,11 @@ fn main() {
     }
     let timer = FigureTimer::new();
 
-    let lab = if use_cache { Lab::persistent(cfg.clone()) } else { Lab::new(cfg.clone()) };
+    let lab = match (use_cache, shard) {
+        (true, Some(spec)) => Lab::persistent(cfg.clone()).with_shard(spec),
+        (true, None) => Lab::persistent(cfg.clone()),
+        (false, _) => Lab::new(cfg.clone()),
+    };
     let started = std::time::Instant::now();
     let emit = |name: &str, text: String| {
         let path = out_dir.join(format!("{name}.txt"));
@@ -366,6 +485,46 @@ fn main() {
         stats.disk_hits,
         stats.misses
     );
+    if stats.write_errors > 0 {
+        // Loud by design: a read-only or full disk otherwise degrades to
+        // silently re-simulating the whole grid on every invocation.
+        eprintln!(
+            "run cache: WARNING — {} cache write errors; results are not persisting \
+             and will re-simulate next run",
+            stats.write_errors
+        );
+    }
+    if let Some(spec) = shard {
+        let ss = lab.shard_stats();
+        println!(
+            "shard {spec}: {} simulated, {} awaited from peers ({:.1}s polling), {} takeovers, {} write errors",
+            stats.misses,
+            ss.waits,
+            ss.wait_us as f64 / 1e6,
+            ss.takeovers,
+            stats.write_errors,
+        );
+        let json = format!(
+            "{{\"shard\":\"{}\",\"count\":{},\"seconds\":{:.3},\"mem_hits\":{},\"disk_hits\":{},\
+             \"misses\":{},\"invalid_entries\":{},\"bytes_read\":{},\"bytes_written\":{},\
+             \"write_errors\":{},\"waits\":{},\"wait_us\":{},\"takeovers\":{},\"seen_keys\":{}}}\n",
+            spec.label(),
+            spec.count,
+            started.elapsed().as_secs_f64(),
+            stats.mem_hits,
+            stats.disk_hits,
+            stats.misses,
+            stats.invalid_entries,
+            stats.bytes_read,
+            stats.bytes_written,
+            stats.write_errors,
+            ss.waits,
+            ss.wait_us,
+            ss.takeovers,
+            lab.cache().seen_keys().len(),
+        );
+        std::fs::write(out_dir.join("stats.json"), json).expect("write shard stats");
+    }
 
     // Telemetry epilogue: metrics summary table, metrics JSON, trace
     // flush. All purely observational — nothing above read these sinks.
@@ -418,5 +577,106 @@ fn main() {
             println!("trace written to {}", path.display());
         }
     }
+    if merge {
+        merge_spools();
+    }
     println!("done in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
+}
+
+/// Reads one integer field from a parsed shard `stats.json`.
+fn stat_u64(v: &waypart_telemetry::schema::Json, key: &str) -> u64 {
+    use waypart_telemetry::schema::Json;
+    match v.get(key) {
+        Some(Json::Num { value, .. }) if *value >= 0.0 => *value as u64,
+        _ => 0,
+    }
+}
+
+/// The merge pass: folds every worker spool under `<cache>/spool/` —
+/// per-shard stats into a scaling summary on stdout, per-shard JSONL
+/// traces into one `merged_trace.jsonl` whose aggregate records are the
+/// fold of every shard's series/histograms. The *artifacts* need no
+/// folding at all: the pipeline above replayed the warm cache, which by
+/// determinism reproduces the single-process bytes exactly.
+fn merge_spools() {
+    use waypart_telemetry::merge::AggregateMerge;
+    use waypart_telemetry::schema::{self, Json};
+
+    let spool_root = cache_dir().join("spool");
+    let mut shards: Vec<(String, f64, u64, u64, u64, u64)> = Vec::new();
+    let mut traces = AggregateMerge::new();
+    let mut merged_events = String::new();
+    let mut dirs: Vec<PathBuf> = match std::fs::read_dir(&spool_root) {
+        Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect(),
+        Err(_) => Vec::new(),
+    };
+    dirs.sort();
+    for dir in &dirs {
+        if let Ok(text) = std::fs::read_to_string(dir.join("stats.json")) {
+            if let Ok(v) = schema::parse_json(text.trim()) {
+                let label = match v.get("shard") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => dir.file_name().unwrap_or_default().to_string_lossy().into_owned(),
+                };
+                let seconds = match v.get("seconds") {
+                    Some(Json::Num { value, .. }) => *value,
+                    _ => 0.0,
+                };
+                shards.push((
+                    label,
+                    seconds,
+                    stat_u64(&v, "misses"),
+                    stat_u64(&v, "waits"),
+                    stat_u64(&v, "takeovers"),
+                    stat_u64(&v, "write_errors"),
+                ));
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(dir.join("trace.jsonl")) {
+            for line in traces.fold_jsonl(&text) {
+                merged_events.push_str(line);
+                merged_events.push('\n');
+            }
+        }
+    }
+    if shards.is_empty() {
+        println!("shard merge: no worker spools under {}", spool_root.display());
+        return;
+    }
+    println!("\nshard merge: {} worker spools", shards.len());
+    let mut busy_sum = 0.0f64;
+    let mut busy_max = 0.0f64;
+    let (mut misses, mut takeovers, mut write_errors) = (0u64, 0u64, 0u64);
+    for (label, seconds, m, waits, t, we) in &shards {
+        println!(
+            "  shard {label}: {m} simulated in {seconds:.1}s ({waits} waits, {t} takeovers, {we} write errors)"
+        );
+        busy_sum += seconds;
+        busy_max = busy_max.max(*seconds);
+        misses += m;
+        takeovers += t;
+        write_errors += we;
+    }
+    // Efficiency of the fork: 1.0 means every worker stayed busy the
+    // whole time; waits and duplicated (taken-over) runs pull it down.
+    let efficiency = if busy_max > 0.0 { busy_sum / (shards.len() as f64 * busy_max) } else { 1.0 };
+    println!(
+        "  total: {misses} runs simulated, {takeovers} takeovers, {write_errors} write errors, \
+         busy max {busy_max:.1}s / sum {busy_sum:.1}s, parallel efficiency {efficiency:.2}"
+    );
+    if traces.series_count() + traces.hist_count() > 0 || !merged_events.is_empty() {
+        let merged_path = spool_root.join("merged_trace.jsonl");
+        let mut doc = merged_events;
+        doc.push_str(&traces.render_jsonl());
+        match std::fs::write(&merged_path, &doc) {
+            Ok(()) => println!(
+                "  merged trace: {} ({} series, {} histograms, {} bad records)",
+                merged_path.display(),
+                traces.series_count(),
+                traces.hist_count(),
+                traces.bad_records(),
+            ),
+            Err(e) => eprintln!("  merged trace: write failed: {e}"),
+        }
+    }
 }

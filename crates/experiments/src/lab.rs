@@ -8,10 +8,16 @@
 //! runs, and with [`Lab::persistent`] completed runs survive the process,
 //! so an interrupted `reproduce` resumes where it stopped.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 use waypart_core::dynamic::DynamicConfig;
 use waypart_core::policy::PartitionPolicy;
 use waypart_core::qos::QosConfig;
 use waypart_core::runner::{BothOnceResult, PairResult, Runner, RunnerConfig, SoloResult};
+use waypart_core::sweep::ShardSpec;
 use waypart_core::ucp::UcpConfig;
 use waypart_sim::msr::PrefetcherMask;
 use waypart_workloads::{registry, AppSpec};
@@ -38,11 +44,33 @@ fn emit_pair_summary(kind: &'static str, fg: &AppSpec, bg: &AppSpec, res: &PairR
     });
 }
 
+/// Cross-worker coordination counters of a sharded [`Lab`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Non-owned misses this worker waited on a peer for.
+    pub waits: u64,
+    /// Total microseconds spent polling peers.
+    pub wait_us: u64,
+    /// Non-owned keys this worker simulated itself after the owner's
+    /// claim went missing past the grace period (peer crashed or lagged).
+    pub takeovers: u64,
+}
+
 /// Shared, cached measurement context.
 pub struct Lab {
     runner: Runner,
     apps: Vec<AppSpec>,
     cache: RunCache,
+    /// When set, this lab only *simulates* cache keys the slice owns
+    /// (`ShardSpec::owns_hash` over `RunCache::key_hash`); misses it does
+    /// not own are awaited from the shared disk store.
+    shard: Option<ShardSpec>,
+    /// How long a waiter tolerates an unclaimed, absent entry before
+    /// taking the key over (see [`Lab::wait_for_peer`]).
+    wait_grace: Duration,
+    waits: AtomicU64,
+    wait_us: AtomicU64,
+    takeovers: AtomicU64,
 }
 
 impl Lab {
@@ -50,26 +78,178 @@ impl Lab {
     /// only (what unit tests want — no cross-process state).
     pub fn new(cfg: RunnerConfig) -> Self {
         let cache = RunCache::in_memory(&cfg);
-        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
+        Self::with_cache(cfg, cache)
     }
 
     /// A lab whose run cache also persists to disk (`results/cache/` or
     /// `$WAYPART_CACHE_DIR`), shared across processes and invocations.
     pub fn persistent(cfg: RunnerConfig) -> Self {
         let cache = RunCache::persistent_default(&cfg);
-        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
+        Self::with_cache(cfg, cache)
+    }
+
+    /// A lab persisted under an explicit cache directory (tests and
+    /// tools that must not touch `results/cache/`).
+    pub fn persistent_at(cfg: RunnerConfig, dir: PathBuf) -> Self {
+        let cache = RunCache::persistent(&cfg, dir);
+        Self::with_cache(cfg, cache)
+    }
+
+    fn with_cache(cfg: RunnerConfig, cache: RunCache) -> Self {
+        Lab {
+            runner: Runner::new(cfg),
+            apps: registry::all(),
+            cache,
+            shard: None,
+            wait_grace: Duration::from_secs(120),
+            waits: AtomicU64::new(0),
+            wait_us: AtomicU64::new(0),
+            takeovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Restricts this lab to simulating only the keys `shard` owns;
+    /// everything else is awaited from peers through the shared store.
+    /// Meaningful only with a persistent cache (an in-memory shard would
+    /// wait forever — the grace-period takeover degrades it to running
+    /// everything itself).
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Overrides the peer-wait grace period (tests shrink it to
+    /// milliseconds so takeover paths run fast).
+    pub fn with_wait_grace(mut self, grace: Duration) -> Self {
+        self.wait_grace = grace;
+        self
     }
 
     /// A lab over a different runner configuration that inherits this
-    /// lab's persistence mode. For experiments that need their own
-    /// machine model (e.g. the page-coloring comparison, which requires
-    /// modulo indexing) while still sharing the on-disk store.
+    /// lab's persistence mode, shard slice, and wait grace. For
+    /// experiments that need their own machine model (e.g. the
+    /// page-coloring comparison, which requires modulo indexing) while
+    /// still sharing the on-disk store.
     pub fn sibling(&self, cfg: RunnerConfig) -> Self {
         let cache = match self.cache.dir() {
             Some(dir) => RunCache::persistent(&cfg, dir.clone()),
             None => RunCache::in_memory(&cfg),
         };
-        Lab { runner: Runner::new(cfg), apps: registry::all(), cache }
+        let mut lab = Self::with_cache(cfg, cache);
+        lab.shard = self.shard;
+        lab.wait_grace = self.wait_grace;
+        lab
+    }
+
+    /// The shard slice this lab executes, if any.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
+    }
+
+    /// Cross-worker wait/takeover counters (all zero when unsharded).
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            waits: self.waits.load(Ordering::Relaxed),
+            wait_us: self.wait_us.load(Ordering::Relaxed),
+            takeovers: self.takeovers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether this lab's slice owns `key` (always true unsharded).
+    fn owns(&self, key: &str) -> bool {
+        match self.shard {
+            None => true,
+            Some(shard) => shard.owns_hash(self.cache.key_hash(key)),
+        }
+    }
+
+    /// The shard-aware spine every cached run goes through: cache hit →
+    /// return; owned miss → claim, simulate, insert; non-owned miss →
+    /// wait for the owning peer (with grace-period takeover). Unsharded
+    /// labs behave exactly like `RunCache::get_or_run`.
+    fn run_cached<T, F>(&self, key: &str, run: F) -> T
+    where
+        T: Serialize + Deserialize,
+        F: FnOnce() -> T,
+    {
+        if let Some(v) = self.cache.lookup(key) {
+            return v;
+        }
+        if self.owns(key) {
+            // Claim so peers racing this as a shared dependency poll
+            // instead of duplicating; a failed claim (peer already took
+            // it over) is fine — determinism makes duplicates harmless
+            // and last-writer-wins keeps the store consistent.
+            let claim = self.cache.try_claim(key);
+            let v = run();
+            self.cache.insert(key, &v);
+            drop(claim); // release strictly after the entry is visible
+            return v;
+        }
+        self.wait_for_peer(key, run)
+    }
+
+    /// Polls the shared store for a key another shard owns. Liveness: a
+    /// *fresh* claim means the owner is simulating — keep waiting; no
+    /// claim for longer than the grace period means the owner crashed or
+    /// fell behind — claim the key and run it ourselves (best-effort
+    /// work stealing; worst case both run it and the entries are
+    /// identical by determinism).
+    fn wait_for_peer<T, F>(&self, key: &str, run: F) -> T
+    where
+        T: Serialize + Deserialize,
+        F: FnOnce() -> T,
+    {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mut last_progress = Instant::now();
+        let mut backoff = Duration::from_millis(2);
+        loop {
+            if let Some(v) = self.cache.lookup(key) {
+                self.wait_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                return v;
+            }
+            match self.cache.claim_age_secs(key) {
+                Some(age) if age < self.wait_grace.as_secs_f64() => {
+                    // Someone is (or very recently was) on it.
+                    last_progress = Instant::now();
+                }
+                _ => {
+                    if last_progress.elapsed() >= self.wait_grace {
+                        if let Some(claim) = self.cache.try_claim(key) {
+                            // The entry may have landed between the
+                            // lookup and the claim.
+                            if let Some(v) = self.cache.lookup(key) {
+                                return v;
+                            }
+                            self.takeovers.fetch_add(1, Ordering::Relaxed);
+                            self.emit_takeover(key);
+                            let v = run();
+                            self.cache.insert(key, &v);
+                            drop(claim);
+                            self.wait_us.fetch_add(
+                                started.elapsed().as_micros() as u64,
+                                Ordering::Relaxed,
+                            );
+                            return v;
+                        }
+                        // Lost the takeover race: a peer claimed it.
+                        last_progress = Instant::now();
+                    }
+                }
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(200));
+        }
+    }
+
+    /// Emits one `cache.takeover` event (wall-stamped harness activity).
+    fn emit_takeover(&self, key: &str) {
+        telemetry::emit_with(|| {
+            Event::instant("cache.takeover", Stamp::WallUs(telemetry::wall_now_us()))
+                .field("key", key)
+                .field("shard", self.shard.map(|s| s.to_string()).unwrap_or_default().as_str())
+        });
     }
 
     /// The underlying runner.
@@ -108,7 +288,7 @@ impl Lab {
     /// A cached solo run with prefetchers all-on or all-off.
     pub fn solo_configured(&self, app: &AppSpec, threads: usize, ways: usize, prefetchers: bool) -> SoloResult {
         let key = format!("solo|{}|t{threads}w{ways}pf{}", app.name, u8::from(prefetchers));
-        let res = self.cache.get_or_run(&key, || {
+        let res = self.run_cached(&key, || {
             let pf = if prefetchers { PrefetcherMask::all_enabled() } else { PrefetcherMask::all_disabled() };
             self.runner.run_solo_configured(app, threads, ways, pf)
         });
@@ -120,7 +300,7 @@ impl Lab {
     /// completion, background restarts forever).
     pub fn pair_endless_bg(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> PairResult {
         let key = format!("pair|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&policy));
-        self.cache.get_or_run(&key, || self.runner.run_pair_endless_bg(fg, bg, policy))
+        self.run_cached(&key, || self.runner.run_pair_endless_bg(fg, bg, policy))
     }
 
     /// The batch form of [`Self::pair_endless_bg`]: the same pairing
@@ -129,6 +309,12 @@ impl Lab {
     /// simulating; the misses run together through
     /// [`Runner::run_pair_batch`], which lockstep-batches them over one
     /// shared workload generator when eligible.
+    ///
+    /// Sharded labs split the misses by key ownership: owned policies
+    /// run together in one lockstep batch (claimed first, so peers racing
+    /// them poll instead of duplicating); non-owned policies are awaited
+    /// from their owners afterwards — per-policy keys and accounting stay
+    /// identical to the sequential path either way.
     pub fn pair_endless_bg_batch(
         &self,
         fg: &AppSpec,
@@ -142,13 +328,22 @@ impl Lab {
         let mut results: Vec<Option<PairResult>> =
             keys.iter().map(|k| self.cache.lookup(k)).collect();
         let missing: Vec<usize> = (0..policies.len()).filter(|&i| results[i].is_none()).collect();
-        if !missing.is_empty() {
-            let uncached: Vec<PartitionPolicy> = missing.iter().map(|&i| policies[i]).collect();
+        let (owned, awaited): (Vec<usize>, Vec<usize>) =
+            missing.into_iter().partition(|&i| self.owns(&keys[i]));
+        if !owned.is_empty() {
+            let claims: Vec<_> = owned.iter().map(|&i| self.cache.try_claim(&keys[i])).collect();
+            let uncached: Vec<PartitionPolicy> = owned.iter().map(|&i| policies[i]).collect();
             let fresh = self.runner.run_pair_batch(fg, bg, &uncached);
-            for (&i, res) in missing.iter().zip(fresh) {
+            for (&i, res) in owned.iter().zip(fresh) {
                 self.cache.insert(&keys[i], &res);
                 results[i] = Some(res);
             }
+            drop(claims); // release strictly after every entry is visible
+        }
+        for i in awaited {
+            let policy = policies[i];
+            results[i] =
+                Some(self.wait_for_peer(&keys[i], || self.runner.run_pair_endless_bg(fg, bg, policy)));
         }
         results.into_iter().map(|r| r.expect("every policy resolved")).collect()
     }
@@ -156,13 +351,13 @@ impl Lab {
     /// A cached run-both-once pair run (consolidation energy accounting).
     pub fn pair_both_once(&self, fg: &AppSpec, bg: &AppSpec, policy: PartitionPolicy) -> BothOnceResult {
         let key = format!("both|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&policy));
-        self.cache.get_or_run(&key, || self.runner.run_pair_both_once(fg, bg, policy))
+        self.run_cached(&key, || self.runner.run_pair_both_once(fg, bg, policy))
     }
 
     /// A cached dynamically-partitioned pair run (Algorithm 6.2).
     pub fn pair_dynamic(&self, fg: &AppSpec, bg: &AppSpec, dyn_cfg: DynamicConfig) -> PairResult {
         let key = format!("dyn|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&dyn_cfg));
-        let res = self.cache.get_or_run(&key, || self.runner.run_pair_dynamic(fg, bg, dyn_cfg));
+        let res = self.run_cached(&key, || self.runner.run_pair_dynamic(fg, bg, dyn_cfg));
         emit_pair_summary("dynamic", fg, bg, &res);
         res
     }
@@ -170,7 +365,7 @@ impl Lab {
     /// A cached UCP-controlled pair run (§7 baseline).
     pub fn pair_ucp(&self, fg: &AppSpec, bg: &AppSpec, ucp_cfg: UcpConfig) -> PairResult {
         let key = format!("ucp|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&ucp_cfg));
-        let res = self.cache.get_or_run(&key, || self.runner.run_pair_ucp(fg, bg, ucp_cfg));
+        let res = self.run_cached(&key, || self.runner.run_pair_ucp(fg, bg, ucp_cfg));
         emit_pair_summary("ucp", fg, bg, &res);
         res
     }
@@ -178,7 +373,7 @@ impl Lab {
     /// A cached QoS-controlled pair run.
     pub fn pair_qos(&self, fg: &AppSpec, bg: &AppSpec, qos_cfg: QosConfig) -> PairResult {
         let key = format!("qos|{}+{}|{}", fg.name, bg.name, serde::json::to_string(&qos_cfg));
-        let res = self.cache.get_or_run(&key, || self.runner.run_pair_qos(fg, bg, qos_cfg));
+        let res = self.run_cached(&key, || self.runner.run_pair_qos(fg, bg, qos_cfg));
         emit_pair_summary("qos", fg, bg, &res);
         res
     }
@@ -187,13 +382,13 @@ impl Lab {
     pub fn pair_multi_bg(&self, fg: &AppSpec, bg: &AppSpec, copies: usize, policy: PartitionPolicy) -> PairResult {
         let key =
             format!("multi|{}+{}x{copies}|{}", fg.name, bg.name, serde::json::to_string(&policy));
-        self.cache.get_or_run(&key, || self.runner.run_pair_multi_bg(fg, bg, copies, policy))
+        self.run_cached(&key, || self.runner.run_pair_multi_bg(fg, bg, copies, policy))
     }
 
     /// A cached page-colored pair run (§7 software baseline).
     pub fn pair_colored(&self, fg: &AppSpec, bg: &AppSpec, fg_groups: usize) -> PairResult {
         let key = format!("color|{}+{}|g{fg_groups}", fg.name, bg.name);
-        self.cache.get_or_run(&key, || self.runner.run_pair_colored(fg, bg, fg_groups))
+        self.run_cached(&key, || self.runner.run_pair_colored(fg, bg, fg_groups))
     }
 
     /// A cached pair run with the background under an MBA throttle.
@@ -210,7 +405,7 @@ impl Lab {
             bg.name,
             serde::json::to_string(&policy)
         );
-        self.cache.get_or_run(&key, || self.runner.run_pair_mba(fg, bg, policy, bg_mba_percent))
+        self.run_cached(&key, || self.runner.run_pair_mba(fg, bg, policy, bg_mba_percent))
     }
 
     /// The solo baseline the multiprogram experiments normalize against:
@@ -322,5 +517,100 @@ mod tests {
     fn unknown_app_panics() {
         let lab = Lab::new(RunnerConfig::test());
         let _ = lab.app("not-a-benchmark");
+    }
+
+    fn tmp_dir(label: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("waypart-lab-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The small pipeline the sharding tests drive through a lab.
+    fn exercise(lab: &Lab) -> Vec<String> {
+        let fg = lab.app("swaptions").clone();
+        let bg = lab.app("dedup").clone();
+        let mut out = Vec::new();
+        for ways in [4usize, 8, 12] {
+            out.push(serde::json::to_string(&lab.solo(&fg, 2, ways)));
+        }
+        let policies = [
+            PartitionPolicy::Shared,
+            PartitionPolicy::Fair,
+            PartitionPolicy::Biased { fg_ways: 9 },
+        ];
+        for r in lab.pair_endless_bg_batch(&fg, &bg, &policies) {
+            out.push(serde::json::to_string(&r));
+        }
+        out
+    }
+
+    #[test]
+    fn two_shards_produce_identical_results_and_split_the_work() {
+        let dir = tmp_dir("shards");
+        let cfg = RunnerConfig::test();
+        let reference: Vec<String> = exercise(&Lab::new(cfg.clone()));
+
+        // Two workers over one shared store, each owning half the key
+        // space, running the same pipeline concurrently.
+        let handles: Vec<_> = (1..=2u32)
+            .map(|index| {
+                let dir = dir.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let lab = Lab::persistent_at(cfg, dir)
+                        .with_shard(ShardSpec { index, count: 2 })
+                        .with_wait_grace(Duration::from_secs(60));
+                    let out = exercise(&lab);
+                    (out, lab.cache_stats(), lab.shard_stats())
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let mut total_misses = 0;
+        for (out, cache, shard) in &outcomes {
+            assert_eq!(out, &reference, "sharded results must be byte-identical");
+            assert_eq!(shard.takeovers, 0, "no takeover needed while both workers live");
+            total_misses += cache.misses;
+        }
+        // The slices are disjoint: together the two workers simulated the
+        // grid exactly once (6 runs), not twice.
+        assert_eq!(total_misses, reference.len() as u64, "shards must not duplicate runs");
+        assert!(
+            outcomes.iter().all(|(_, c, _)| c.misses < reference.len() as u64),
+            "one worker simulated everything — the partition did not split the grid"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lone_shard_takes_over_abandoned_keys() {
+        // A single worker owning slice 1/2, with zero grace: every
+        // non-owned miss has no live owner, so the worker must take each
+        // one over rather than hang — the liveness property a crashed
+        // peer relies on.
+        let dir = tmp_dir("takeover");
+        let cfg = RunnerConfig::test();
+        let reference: Vec<String> = exercise(&Lab::new(cfg.clone()));
+        let lab = Lab::persistent_at(cfg, dir.clone())
+            .with_shard(ShardSpec { index: 1, count: 2 })
+            .with_wait_grace(Duration::ZERO);
+        assert_eq!(exercise(&lab), reference);
+        let shard = lab.shard_stats();
+        assert!(shard.takeovers > 0, "non-owned keys must be taken over, not hung on");
+        assert_eq!(shard.waits, shard.takeovers, "every wait resolved by takeover");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sibling_inherits_shard_and_grace() {
+        let cfg = RunnerConfig::test();
+        let lab = Lab::new(cfg.clone())
+            .with_shard(ShardSpec { index: 2, count: 3 })
+            .with_wait_grace(Duration::from_millis(7));
+        let sib = lab.sibling(cfg);
+        assert_eq!(sib.shard(), Some(ShardSpec { index: 2, count: 3 }));
+        assert_eq!(sib.wait_grace, Duration::from_millis(7));
     }
 }

@@ -29,7 +29,7 @@
 //! Writes go through a temp file + atomic rename, so concurrent
 //! processes and interrupted runs can never leave a torn entry.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -59,6 +59,11 @@ pub struct CacheStats {
     pub bytes_read: u64,
     /// Bytes written to disk entries.
     pub bytes_written: u64,
+    /// Disk stores that failed (unwritable directory, full disk, rename
+    /// failure). The run still completed — the cache just couldn't keep
+    /// it — so a persistent nonzero count means every future process
+    /// re-simulates; `reproduce` surfaces it loudly.
+    pub write_errors: u64,
 }
 
 impl CacheStats {
@@ -92,6 +97,12 @@ pub struct RunCache {
     invalid_entries: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    write_errors: AtomicU64,
+    /// Every key suffix this cache was asked about (sorted, deduped) — a
+    /// warm pass over the figure pipeline enumerates the full run grid
+    /// here without simulating anything (the shard partition is defined
+    /// over these keys' hashes).
+    seen: Mutex<BTreeSet<String>>,
 }
 
 impl RunCache {
@@ -125,6 +136,8 @@ impl RunCache {
             invalid_entries: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            seen: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -142,7 +155,23 @@ impl RunCache {
             invalid_entries: self.invalid_entries.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Every key suffix looked up or inserted so far (sorted, deduped).
+    /// A cache-warm pass over the figures enumerates the global run grid
+    /// here with zero simulation.
+    pub fn seen_keys(&self) -> Vec<String> {
+        self.seen.lock().expect("run cache").iter().cloned().collect()
+    }
+
+    /// The stable cross-process hash of a caller key — the same FNV-1a
+    /// value that names the key's disk entry file. Shard slices partition
+    /// the run grid by this hash (`ShardSpec::owns_hash`), so ownership is
+    /// an exact cover of the key space regardless of figure structure.
+    pub fn key_hash(&self, key_suffix: &str) -> u64 {
+        fnv1a(self.full_key(key_suffix).as_bytes())
     }
 
     /// Number of distinct runs memoized in memory.
@@ -177,6 +206,7 @@ impl RunCache {
     /// `get_or_run` calls would.
     pub fn lookup<T: Serialize + Deserialize>(&self, key_suffix: &str) -> Option<T> {
         let key = self.full_key(key_suffix);
+        self.record_seen(key_suffix);
 
         if let Some(text) = self.mem.lock().expect("run cache").get(&key) {
             let value = json::from_str::<T>(text).expect("corrupt in-memory cache entry");
@@ -197,6 +227,7 @@ impl RunCache {
     /// computed result for `key_suffix` and counts the miss.
     pub fn insert<T: Serialize>(&self, key_suffix: &str, value: &T) {
         let key = self.full_key(key_suffix);
+        self.record_seen(key_suffix);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.emit_lookup(key_suffix, "miss");
         let text = json::to_string(value);
@@ -207,6 +238,14 @@ impl RunCache {
     /// Prepends the schema version and config hash to a caller key.
     fn full_key(&self, key_suffix: &str) -> String {
         format!("v{SCHEMA_VERSION}|{:016x}|{key_suffix}", self.cfg_hash)
+    }
+
+    /// Records a key suffix in the seen-key grid enumeration.
+    fn record_seen(&self, key_suffix: &str) {
+        let mut seen = self.seen.lock().expect("run cache");
+        if !seen.contains(key_suffix) {
+            seen.insert(key_suffix.to_string());
+        }
     }
 
     /// Emits one `cache.lookup` telemetry event (wall-stamped: cache
@@ -230,6 +269,11 @@ impl RunCache {
     /// File path for `key` under the cache directory.
     fn entry_path(&self, key: &str) -> Option<PathBuf> {
         self.dir.as_ref().map(|d| d.join(format!("{:016x}.json", fnv1a(key.as_bytes()))))
+    }
+
+    /// Claim-file path for `key` under the cache directory.
+    fn claim_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{:016x}.claim", fnv1a(key.as_bytes()))))
     }
 
     /// Loads and validates a disk entry; any mismatch or parse failure is
@@ -264,12 +308,17 @@ impl RunCache {
         Some(result)
     }
 
-    /// Writes an entry via temp file + rename; IO errors are swallowed
-    /// (the cache is an accelerator, not a correctness dependency).
+    /// Writes an entry via temp file + rename. IO errors don't propagate
+    /// (the cache is an accelerator, not a correctness dependency) but
+    /// they are *counted* and emitted as `cache.write_error` events — a
+    /// read-only or full disk silently re-running everything forever is
+    /// exactly the failure mode the stats line in `reproduce` exists to
+    /// surface.
     fn store_disk(&self, key: &str, value_text: &str) {
         let Some(path) = self.entry_path(key) else { return };
         let Some(dir) = self.dir.as_ref() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            self.count_write_error("create_dir", &e);
             return;
         }
         let envelope = Value::Obj(vec![
@@ -284,10 +333,99 @@ impl RunCache {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let text = json::to_string(&envelope);
         let len = text.len() as u64;
-        if std::fs::write(&tmp, text).is_ok() {
-            if std::fs::rename(&tmp, &path).is_ok() {
-                self.bytes_written.fetch_add(len, Ordering::Relaxed);
-            }
+        match std::fs::write(&tmp, text) {
+            Err(e) => self.count_write_error("write", &e),
+            Ok(()) => match std::fs::rename(&tmp, &path) {
+                Err(e) => {
+                    self.count_write_error("rename", &e);
+                    let _ = std::fs::remove_file(&tmp);
+                }
+                Ok(()) => {
+                    self.bytes_written.fetch_add(len, Ordering::Relaxed);
+                }
+            },
+        }
+    }
+
+    /// Counts one failed disk store and emits a `cache.write_error`
+    /// telemetry event naming the failing operation.
+    fn count_write_error(&self, op: &'static str, err: &std::io::Error) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+        use waypart_telemetry as telemetry;
+        telemetry::emit_with(|| {
+            telemetry::Event::instant(
+                "cache.write_error",
+                telemetry::Stamp::WallUs(telemetry::wall_now_us()),
+            )
+            .field("op", op)
+            .field("error", err.to_string().as_str())
+            .field("write_errors", self.write_errors.load(Ordering::Relaxed))
+        });
+    }
+
+    // ------------------------------------------------------------- claims
+    //
+    // Two shards can race one *shared* dependency (a run neither owns
+    // exclusively — e.g. a characterization solo both figures need). A
+    // claim file `<entry-hash>.claim`, created with `create_new`, marks
+    // "some worker is simulating this key right now"; peers poll the
+    // entry instead of duplicating a 100-second run. Claims are strictly
+    // best-effort: every failure mode (unwritable dir, crashed claimant,
+    // clock skew) degrades to both workers running the key and the
+    // last-writer-wins entry store — never to a missing or wrong result.
+
+    /// Tries to claim `key_suffix` for this process. `Some` means the
+    /// caller should simulate the key (it either holds the claim, or the
+    /// cache has no claim machinery — in-memory, or an unwritable dir);
+    /// `None` means another live worker holds a claim. The returned guard
+    /// releases the claim on drop; insert the entry *before* dropping it
+    /// so pollers observe the result no later than the release.
+    pub fn try_claim(&self, key_suffix: &str) -> Option<ClaimGuard> {
+        let key = self.full_key(key_suffix);
+        let Some(path) = self.claim_path(&key) else {
+            return Some(ClaimGuard { path: None });
+        };
+        let Some(dir) = self.dir.as_ref() else {
+            return Some(ClaimGuard { path: None });
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return Some(ClaimGuard { path: None });
+        }
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(_) => Some(ClaimGuard { path: Some(path) }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => None,
+            // Any other failure: no cross-process arbitration available;
+            // run it ourselves (duplicated work beats a deadlock).
+            Err(_) => Some(ClaimGuard { path: None }),
+        }
+    }
+
+    /// Age in seconds of the claim file for `key_suffix`, or `None` when
+    /// no claim exists (or the cache is in-memory). A waiting worker
+    /// treats a claim older than its grace period as abandoned and takes
+    /// the key over.
+    pub fn claim_age_secs(&self, key_suffix: &str) -> Option<f64> {
+        let key = self.full_key(key_suffix);
+        let path = self.claim_path(&key)?;
+        let modified = std::fs::metadata(&path).ok()?.modified().ok()?;
+        Some(modified.elapsed().map(|d| d.as_secs_f64()).unwrap_or(0.0))
+    }
+}
+
+/// Holds a best-effort cross-process claim on one run-cache key;
+/// removes the claim file when dropped. See [`RunCache::try_claim`].
+#[derive(Debug)]
+pub struct ClaimGuard {
+    /// `None` when no claim file backs the guard (in-memory cache or an
+    /// unwritable directory): the caller still simulates, there is just
+    /// nothing to release.
+    path: Option<PathBuf>,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -472,6 +610,78 @@ mod tests {
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_counts_write_errors() {
+        // A *file* where the cache directory should be makes every
+        // create_dir_all fail — deterministic even when running as root
+        // (unlike permission bits).
+        let dir = tmp_dir("readonly");
+        std::fs::write(&dir, "not a directory").unwrap();
+        let cache = RunCache::persistent(&RunnerConfig::test(), dir.clone());
+        let v: u64 = cache.get_or_run("solo|ro", || 3);
+        assert_eq!(v, 3, "the run itself must still succeed");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.write_errors, 1, "failed store must be counted");
+        assert_eq!(s.bytes_written, 0);
+        // And the failure repeats loudly rather than silently.
+        let _: u64 = cache.get_or_run("solo|ro2", || 4);
+        assert_eq!(cache.stats().write_errors, 2);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn seen_keys_enumerate_the_grid_without_running() {
+        let cache = RunCache::in_memory(&RunnerConfig::test());
+        let _: u64 = cache.get_or_run("solo|b|t1", || 1);
+        let _: u64 = cache.get_or_run("solo|a|t1", || 2);
+        let _: u64 = cache.get_or_run("solo|b|t1", || 3); // dedup
+        let _: Option<u64> = cache.lookup("pair|x+y|shared"); // miss still recorded
+        assert_eq!(cache.seen_keys(), vec!["pair|x+y|shared", "solo|a|t1", "solo|b|t1"]);
+    }
+
+    #[test]
+    fn key_hash_matches_entry_filename() {
+        let dir = tmp_dir("keyhash");
+        let cfg = RunnerConfig::test();
+        let cache = RunCache::persistent(&cfg, dir.clone());
+        let _: u64 = cache.get_or_run("solo|hash", || 9);
+        let entry = only_entry(&dir);
+        let name = entry.file_name().unwrap().to_str().unwrap();
+        assert_eq!(name, format!("{:016x}.json", cache.key_hash("solo|hash")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claims_arbitrate_and_release() {
+        let dir = tmp_dir("claims");
+        let cfg = RunnerConfig::test();
+        let a = RunCache::persistent(&cfg, dir.clone());
+        let b = RunCache::persistent(&cfg, dir.clone());
+
+        assert!(a.claim_age_secs("pair|c+d|shared").is_none(), "no claim yet");
+        let guard = a.try_claim("pair|c+d|shared").expect("first claim succeeds");
+        assert!(b.try_claim("pair|c+d|shared").is_none(), "second claimant must wait");
+        let age = b.claim_age_secs("pair|c+d|shared").expect("claim file visible to peer");
+        assert!(age < 60.0, "fresh claim reported ancient: {age}");
+        // A different key is independent.
+        assert!(b.try_claim("pair|other|shared").is_some());
+
+        drop(guard);
+        assert!(b.claim_age_secs("pair|c+d|shared").is_none(), "drop releases the claim");
+        assert!(b.try_claim("pair|c+d|shared").is_some(), "released key is claimable again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_claims_are_noops_that_always_grant() {
+        let cache = RunCache::in_memory(&RunnerConfig::test());
+        let g1 = cache.try_claim("solo|x");
+        let g2 = cache.try_claim("solo|x");
+        assert!(g1.is_some() && g2.is_some(), "no cross-process arbitration in memory");
+        assert!(cache.claim_age_secs("solo|x").is_none());
     }
 
     #[test]

@@ -99,6 +99,31 @@ impl Histogram {
         self.sum += u128::from(v) * u128::from(n);
     }
 
+    /// Rebuilds a histogram from its serialized parts — the inverse of
+    /// [`Self::to_json_record`], used by [`crate::merge`] to fold
+    /// per-shard traces. `buckets` are `(lower_bound, count)` pairs as
+    /// produced by [`Self::buckets`]; `sum`, `min` and `max` replace the
+    /// bucket-derived approximations with the recorded exact values
+    /// (bucket lower bounds round samples down, the recorded fields do
+    /// not).
+    pub fn from_parts(
+        buckets: impl IntoIterator<Item = (u64, u64)>,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        for (lower, n) in buckets {
+            h.record_n(lower, n);
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
     /// Adds `other`'s samples into `self` (exact: bucket-wise addition).
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {

@@ -40,6 +40,7 @@
 
 pub mod event;
 pub mod hist;
+pub mod merge;
 pub mod schema;
 pub mod series;
 pub mod sinks;

@@ -1,0 +1,314 @@
+//! Folding aggregate records from several trace files into one —
+//! the merge side of sharded execution.
+//!
+//! A sharded `reproduce` leaves one JSONL trace per worker, each ending
+//! in the `{"record":"series"|"hist"}` lines its `SeriesSink` rendered.
+//! [`AggregateMerge`] parses those lines back into the mergeable
+//! [`TimeSeries`]/[`Histogram`] types (via their `from_parts`
+//! constructors) and folds records with the same key together —
+//! series keyed by `(name, tid)`, histograms by `name` — so the merged
+//! render is what one process recording every shard's samples would
+//! have produced (exactly for histograms, within the documented
+//! downsample bounds for series). Event lines pass through untouched by
+//! [`AggregateMerge::fold_jsonl`]; use [`merge_aggregate_jsonl`] to fold
+//! whole documents.
+
+use crate::hist::Histogram;
+use crate::schema::{self, Json};
+use crate::series::TimeSeries;
+use std::collections::BTreeMap;
+
+/// An accumulator folding `{"record":...}` JSONL lines across shards.
+#[derive(Default)]
+pub struct AggregateMerge {
+    series: BTreeMap<(String, u32), TimeSeries>,
+    hists: BTreeMap<String, Histogram>,
+    /// Aggregate-record lines that failed to parse or validate.
+    bad_records: u64,
+}
+
+impl AggregateMerge {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds every aggregate-record line of `text` into the accumulator
+    /// and returns the non-record (event) lines verbatim, in order, so a
+    /// merged trace can keep each shard's events while collapsing the
+    /// aggregates. Blank lines are dropped; malformed record lines are
+    /// counted in [`Self::bad_records`], not propagated.
+    pub fn fold_jsonl<'a>(&mut self, text: &'a str) -> Vec<&'a str> {
+        let mut events = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            // Cheap pre-filter: every record line starts with the
+            // `record` key (our own renderers put it first), but accept
+            // any object carrying the key to stay producer-agnostic.
+            if !trimmed.contains("\"record\"") {
+                events.push(line);
+                continue;
+            }
+            match schema::parse_json(trimmed) {
+                Ok(v) if v.get("record").is_some() => {
+                    if self.fold_record(&v).is_none() {
+                        self.bad_records += 1;
+                    }
+                }
+                Ok(_) => events.push(line),
+                Err(_) => {
+                    self.bad_records += 1;
+                }
+            }
+        }
+        events
+    }
+
+    /// Folds one parsed record object; `None` if it is malformed.
+    fn fold_record(&mut self, v: &Json) -> Option<()> {
+        let kind = match v.get("record")? {
+            Json::Str(s) => s.as_str(),
+            _ => return None,
+        };
+        let name = match v.get("name")? {
+            Json::Str(s) if !s.is_empty() => s.clone(),
+            _ => return None,
+        };
+        match kind {
+            "series" => {
+                let tid = get_u64(v, "tid")? as u32;
+                let clock = match v.get("clock")? {
+                    // Map to the 'static names TimeSeries pins.
+                    Json::Str(s) if s == "cycles" => "cycles",
+                    Json::Str(s) if s == "wall_us" => "wall_us",
+                    _ => return None,
+                };
+                let stride = get_u64(v, "stride")?;
+                let total = get_u64(v, "total")?;
+                let points = get_pairs(v, "points")?;
+                let incoming = TimeSeries::from_parts(
+                    crate::sinks::SeriesSink::DEFAULT_CAPACITY,
+                    clock,
+                    stride,
+                    total,
+                    points,
+                );
+                self.series
+                    .entry((name, tid))
+                    .and_modify(|s| s.merge(&incoming))
+                    .or_insert(incoming);
+            }
+            "hist" => {
+                let sum = get_u64(v, "sum")?;
+                let min = get_u64(v, "min")?;
+                let max = get_u64(v, "max")?;
+                let buckets = get_pairs(v, "buckets")?;
+                let incoming = Histogram::from_parts(
+                    buckets.into_iter().map(|(lo, n)| (lo, n as u64)),
+                    u128::from(sum),
+                    min,
+                    max,
+                );
+                self.hists.entry(name).and_modify(|h| h.merge(&incoming)).or_insert(incoming);
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Number of distinct `(name, tid)` series folded.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of distinct histograms folded.
+    pub fn hist_count(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// Aggregate-record lines that failed to parse or validate.
+    pub fn bad_records(&self) -> u64 {
+        self.bad_records
+    }
+
+    /// A folded series by name and track id.
+    pub fn series(&self, name: &str, tid: u32) -> Option<&TimeSeries> {
+        self.series.get(&(name.to_string(), tid))
+    }
+
+    /// A folded histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Renders the folded aggregates as JSONL record lines in the same
+    /// deterministic (BTreeMap) order `SeriesSink::render_jsonl` uses,
+    /// one trailing newline per line; empty when nothing folded.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ((name, tid), series) in &self.series {
+            out.push_str(&series.to_json_record(name, *tid));
+            out.push('\n');
+        }
+        for (name, hist) in &self.hists {
+            out.push_str(&hist.to_json_record(name));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    match v.get(key)? {
+        Json::Num { value, is_int } if *is_int && *value >= 0.0 => Some(*value as u64),
+        _ => None,
+    }
+}
+
+/// Reads a `[[u64, f64], ...]` pair array (series points / hist buckets).
+fn get_pairs(v: &Json, key: &str) -> Option<Vec<(u64, f64)>> {
+    let items = match v.get(key)? {
+        Json::Arr(items) => items,
+        _ => return None,
+    };
+    let mut pairs = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = match item {
+            Json::Arr(pair) if pair.len() == 2 => pair,
+            _ => return None,
+        };
+        let first = match &pair[0] {
+            Json::Num { value, is_int } if *is_int && *value >= 0.0 => *value as u64,
+            _ => return None,
+        };
+        let second = match &pair[1] {
+            Json::Num { value, .. } => *value,
+            _ => return None,
+        };
+        pairs.push((first, second));
+    }
+    Some(pairs)
+}
+
+/// Merges several JSONL trace documents: every shard's event lines pass
+/// through in input order, then the folded aggregate records follow in
+/// one deterministic block. The result validates under
+/// [`crate::schema::validate_jsonl`] whenever the inputs did.
+pub fn merge_aggregate_jsonl<'a>(docs: impl IntoIterator<Item = &'a str>) -> String {
+    let mut acc = AggregateMerge::new();
+    let mut out = String::new();
+    for doc in docs {
+        for line in acc.fold_jsonl(doc) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str(&acc.render_jsonl());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Stamp};
+
+    fn series_line(name: &str, tid: u32, pts: &[(u64, f64)], total: u64) -> String {
+        TimeSeries::from_parts(64, "cycles", 1, total, pts.to_vec()).to_json_record(name, tid)
+    }
+
+    #[test]
+    fn folding_two_shards_equals_recording_union() {
+        // Two shards each record half the samples of one histogram; the
+        // fold must equal one histogram of the union (hist merge is
+        // exact).
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for v in [3u64, 17, 900] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [5u64, 80_000] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut acc = AggregateMerge::new();
+        acc.fold_jsonl(&a.to_json_record("figure.run.seconds_us"));
+        acc.fold_jsonl(&b.to_json_record("figure.run.seconds_us"));
+        let folded = acc.hist("figure.run.seconds_us").expect("folded hist");
+        assert_eq!(folded.count(), union.count());
+        assert_eq!(folded.sum(), union.sum());
+        assert_eq!(folded.min(), union.min());
+        assert_eq!(folded.max(), union.max());
+        assert_eq!(folded.p50(), union.p50());
+    }
+
+    #[test]
+    fn series_records_fold_by_name_and_tid() {
+        let mut acc = AggregateMerge::new();
+        acc.fold_jsonl(&series_line("m.x", 1, &[(0, 1.0), (2, 2.0)], 2));
+        acc.fold_jsonl(&series_line("m.x", 1, &[(1, 5.0)], 1));
+        acc.fold_jsonl(&series_line("m.x", 2, &[(0, 9.0)], 1));
+        assert_eq!(acc.series_count(), 2);
+        let s = acc.series("m.x", 1).expect("merged series");
+        assert_eq!(s.points(), &[(0, 1.0), (1, 5.0), (2, 2.0)]);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn event_lines_pass_through_in_order() {
+        let ev1 = Event::instant("a.b", Stamp::WallUs(1)).to_jsonl();
+        let ev2 = Event::counter("c.d", Stamp::Cycles(2)).field("n", 1u64).to_jsonl();
+        let hist = {
+            let mut h = Histogram::new();
+            h.record(7);
+            h.to_json_record("h")
+        };
+        let doc = format!("{ev1}\n{hist}\n\n{ev2}\n");
+        let mut acc = AggregateMerge::new();
+        let events = acc.fold_jsonl(&doc);
+        assert_eq!(events, vec![ev1.as_str(), ev2.as_str()]);
+        assert_eq!(acc.hist_count(), 1);
+        assert_eq!(acc.bad_records(), 0);
+    }
+
+    #[test]
+    fn malformed_records_are_counted_not_fatal() {
+        let mut acc = AggregateMerge::new();
+        let events = acc.fold_jsonl(
+            "{\"record\":\"blob\",\"name\":\"x\"}\n{\"record\":\"series\",\"name\":\"\"}\n{\"record\": truncated",
+        );
+        assert!(events.is_empty());
+        assert_eq!(acc.bad_records(), 3);
+        assert_eq!(acc.series_count() + acc.hist_count(), 0);
+    }
+
+    #[test]
+    fn merged_document_validates() {
+        let ev = Event::instant("a.b", Stamp::WallUs(1)).to_jsonl();
+        let mut h = Histogram::new();
+        h.record_n(1000, 3);
+        let shard1 = format!("{ev}\n{}\n", h.to_json_record("lat"));
+        let shard2 = format!("{}\n{}\n", series_line("m", 0, &[(5, 1.5)], 1), h.to_json_record("lat"));
+        let merged = merge_aggregate_jsonl([shard1.as_str(), shard2.as_str()]);
+        let n = crate::schema::validate_jsonl(&merged).expect("merged trace validates");
+        assert_eq!(n, 3, "1 event + 1 series + 1 folded hist");
+        // The two hist records folded into one with doubled counts.
+        let mut acc = AggregateMerge::new();
+        acc.fold_jsonl(&merged);
+        assert_eq!(acc.hist("lat").unwrap().count(), 6);
+    }
+
+    #[test]
+    fn roundtrip_through_render_is_stable() {
+        let mut acc = AggregateMerge::new();
+        acc.fold_jsonl(&series_line("m", 1, &[(0, 1.0)], 1));
+        let once = acc.render_jsonl();
+        let mut again = AggregateMerge::new();
+        again.fold_jsonl(&once);
+        assert_eq!(again.render_jsonl(), once);
+    }
+}

@@ -5,7 +5,10 @@
 # single runs: it alternates baseline/current (A B A B ...) and reports
 # medians. Each cold run gets a fresh (empty) run-cache directory; a
 # final warm run reuses the current binary's populated cache to show the
-# persistent-cache effect separately.
+# persistent-cache effect separately. A sharded cold run (`--jobs N`,
+# N = min(nproc, 4), override with BENCH_JOBS) measures the multi-process
+# worker protocol and records `shards` / `sharded_cold_s` /
+# `shard_speedup` / `parallel_efficiency` for the sentry.
 #
 # Usage:
 #   scripts/bench.sh [--runs N] [--baseline-bin PATH] [--baseline-rev REV]
@@ -109,6 +112,34 @@ else
   FIG_SECONDS=null   # older binary without --metrics
 fi
 
+# Sharded cold run: fork worker processes over a fresh shared cache and
+# merge (DESIGN.md §5f). Timed once (not interleaved) — the sentry's
+# noise band absorbs jitter across sessions. The merged artifacts must be
+# byte-identical to the single-process run; the parallel efficiency is
+# scraped from the coordinator's merge summary. On hosts with fewer
+# cores than workers the speedup honestly reports <1.
+JOBS=${BENCH_JOBS:-$(nproc)}
+[ "$JOBS" -gt 4 ] && JOBS=4
+[ "$JOBS" -lt 2 ] && JOBS=2
+if "$CURRENT_BIN" --help 2>/dev/null | grep -q -- --jobs; then
+  echo "== sharded cold run (--jobs $JOBS) =="
+  t0=$(date +%s.%N)
+  WAYPART_CACHE_DIR=$SCRATCH/shardcache "$CURRENT_BIN" --scale test --jobs "$JOBS" \
+    --out "$SCRATCH/sharded" > "$SCRATCH/sharded.log" 2>&1
+  t1=$(date +%s.%N)
+  SHARDED_COLD=$(echo "$t0 $t1" | awk '{printf "%.2f", $2-$1}')
+  diff -r "$SCRATCH/curr_1" "$SCRATCH/sharded" >/dev/null \
+    || { echo "FAIL: sharded artifacts differ from single-process run" >&2; exit 1; }
+  PAR_EFF=$(sed -n 's/.*parallel efficiency \([0-9.]*\).*/\1/p' "$SCRATCH/sharded.log" | tail -1)
+  [ -n "$PAR_EFF" ] || PAR_EFF=null
+  SHARD_SPEEDUP=$(awk -v c="$COLD" -v s="$SHARDED_COLD" 'BEGIN {printf "%.3f", c/s}')
+  echo "sharded cold: ${SHARDED_COLD}s with $JOBS workers" \
+       "(${SHARD_SPEEDUP}x vs single-process cold ${COLD}s, efficiency $PAR_EFF)"
+  echo "sharded artifacts byte-identical to single-process run"
+else
+  JOBS=null SHARDED_COLD=null SHARD_SPEEDUP=null PAR_EFF=null  # pre-sharding binary
+fi
+
 ENGINE_LINE=$(target/release/examples/profile_engine sololoop 8)
 echo "$ENGINE_LINE"
 NS_PER_ACCESS=$(echo "$ENGINE_LINE" | tr ' ' '\n' | sed -n 's/^ns_per_access=//p')
@@ -132,10 +163,16 @@ jq -n \
   --argjson cold_speedup "$COLD_SPEEDUP" \
   --argjson ns_per_access "$NS_PER_ACCESS" \
   --argjson figure_seconds "$FIG_SECONDS" \
+  --argjson shards "$JOBS" \
+  --argjson sharded_cold_s "$SHARDED_COLD" \
+  --argjson shard_speedup "$SHARD_SPEEDUP" \
+  --argjson parallel_efficiency "$PAR_EFF" \
   '{bench: "reproduce --scale test", protocol: "interleaved A/B, shared cache dir for current (run 1 cold, runs 2+ warm)",
     runs: $runs, baseline_median_s: $baseline_median_s, current_median_s: $current_median_s,
     current_cold_s: $current_cold_s, speedup: $speedup, cold_speedup: $cold_speedup,
-    engine_ns_per_access: $ns_per_access, figure_seconds_warm: $figure_seconds}' > "$OUT"
+    engine_ns_per_access: $ns_per_access, figure_seconds_warm: $figure_seconds,
+    shards: $shards, sharded_cold_s: $sharded_cold_s, shard_speedup: $shard_speedup,
+    parallel_efficiency: $parallel_efficiency}' > "$OUT"
 echo "wrote $OUT:"
 cat "$OUT"
 

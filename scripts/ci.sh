@@ -106,6 +106,29 @@ cargo run --release -p waypart-experiments --bin report -- \
 grep -q "replayed from cache" "$TRACE_DIR/report_warm.html" \
   || { echo "FAIL: warm report lacks the cache banner" >&2; exit 1; }
 
+echo "== sharded reproduce smoke (2 workers, merged vs committed goldens) =="
+# The coordinator forks two shard workers over a fresh shared cache
+# (DESIGN.md §5f), then replays the warm cache to render the artifacts.
+# Determinism of the protocol means the merged output must be
+# byte-identical to the committed single-process golden, and malformed
+# shard specs must be usage errors, never silent full runs.
+WAYPART_CACHE_DIR="$TRACE_DIR/shardcache" \
+  cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --jobs 2 --out "$TRACE_DIR/sharded" fig12 >/dev/null
+diff "$TRACE_DIR/sharded/fig12.txt" results/test/fig12.txt \
+  || { echo "FAIL: 2-worker sharded fig12 differs from the committed golden" >&2; exit 1; }
+[ -s "$TRACE_DIR/shardcache/spool/merged_trace.jsonl" ] \
+  || { echo "FAIL: sharded run left no merged trace" >&2; exit 1; }
+cargo run --release -p waypart-telemetry --bin validate_trace -- \
+  "$TRACE_DIR/shardcache/spool/merged_trace.jsonl"
+for bad in 0/4 5/4 k/0 garbage; do
+  if cargo run --release -p waypart-experiments --bin reproduce -- \
+      --scale test --shard "$bad" fig12 >/dev/null 2>&1; then
+    echo "FAIL: reproduce accepted malformed --shard $bad" >&2; exit 1
+  fi
+done
+echo "sharded fig12 byte-identical to golden; malformed specs rejected"
+
 echo "== sampled reproduce smoke (error bars printed and bounded) =="
 # End-to-end: `--fidelity sampled` must produce the fig12 artifact plus
 # the sampled-vs-exact error-bar artifact, and the reported mean-MPKI

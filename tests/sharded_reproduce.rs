@@ -1,0 +1,115 @@
+//! Sharded execution must be invisible in the artifacts (DESIGN.md §5f).
+//!
+//! Two properties back the `reproduce --shard K/N` / `--jobs N` /
+//! `--merge` protocol:
+//!
+//! 1. **Exact cover.** For every shard count `n`, the key-hash partition
+//!    assigns each run to exactly one worker — no run is dropped and no
+//!    run is owned twice. Checked both over arbitrary hashes (proptest)
+//!    and over the *real* key set a figure pipeline records in the run
+//!    cache.
+//! 2. **Byte identity.** A 2-shard concurrent pass over one shared cache
+//!    renders the same fig12 artifact, byte for byte, as a single
+//!    process — and a warm merge-style replay over the populated cache
+//!    reproduces it again with zero new simulations.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use waypart_core::runner::RunnerConfig;
+use waypart_core::sweep::ShardSpec;
+use waypart_experiments::{fig12, Lab};
+
+fn tmp_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("waypart-shardtest-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn two_shard_fig12_is_byte_identical_and_warm_replay_simulates_nothing() {
+    let dir = tmp_dir("fig12");
+    let cfg = RunnerConfig::test();
+
+    // Reference: one in-memory lab simulates the whole grid.
+    let reference_lab = Lab::new(cfg.clone());
+    let reference = fig12::run(&reference_lab).render();
+    let grid = reference_lab.cache_stats().misses;
+    assert!(grid > 0, "fig12 must simulate something cold");
+
+    // Two concurrent workers over one shared persistent cache, each
+    // owning half the key space (long grace: both stay live, so no
+    // takeovers and no duplicated work).
+    let handles: Vec<_> = (1..=2u32)
+        .map(|index| {
+            let dir = dir.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let lab = Lab::persistent_at(cfg, dir)
+                    .with_shard(ShardSpec { index, count: 2 })
+                    .with_wait_grace(Duration::from_secs(120));
+                (fig12::run(&lab).render(), lab.cache_stats(), lab.shard_stats())
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut simulated = 0;
+    for (text, cache, shard) in &outcomes {
+        assert_eq!(text, &reference, "sharded fig12 must be byte-identical");
+        assert_eq!(shard.takeovers, 0, "live peers must not trigger takeovers");
+        simulated += cache.misses;
+    }
+    assert_eq!(simulated, grid, "the two slices together must cover the grid exactly once");
+    assert!(
+        outcomes.iter().all(|(_, c, _)| c.misses < grid),
+        "one worker simulated the whole grid — the partition did not split it"
+    );
+
+    // Warm replay (what `--merge` does before folding spools): a fresh
+    // unsharded lab over the populated cache renders the same bytes
+    // without a single new simulation.
+    let warm = Lab::persistent_at(cfg, dir.clone());
+    assert_eq!(fig12::run(&warm).render(), reference, "warm replay must be byte-identical");
+    let stats = warm.cache_stats();
+    assert_eq!(stats.misses, 0, "warm replay must not simulate");
+    assert_eq!(stats.disk_hits, grid, "every run must replay from the shared disk cache");
+
+    // Exact cover over the *real* recorded key set: for several shard
+    // counts, each key the pipeline touched belongs to exactly one
+    // worker (the property the concurrent pass above relies on).
+    let keys = warm.cache().seen_keys();
+    assert_eq!(keys.len() as u64, grid, "lookup path must record every key it sees");
+    for n in [1u32, 2, 3, 4, 7, 16] {
+        for key in &keys {
+            let h = warm.cache().key_hash(key);
+            let owners =
+                (1..=n).filter(|&k| ShardSpec { index: k, count: n }.owns_hash(h)).count();
+            assert_eq!(owners, 1, "key `{key}` must have exactly one owner of {n} shards");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    // Pure form of the cover property: any hash, any shard count ≤ 32 —
+    // exactly one owner, and `partition` keeps slices disjoint and
+    // jointly exhaustive.
+    #[test]
+    fn shard_partition_is_a_disjoint_exact_cover(
+        hashes in proptest::collection::vec(any::<u64>(), 0..200),
+        n in 1u32..=32,
+    ) {
+        let mut covered = 0usize;
+        for index in 1..=n {
+            let spec = ShardSpec { index, count: n };
+            let (mine, rest) = spec.partition(hashes.clone(), |&h| h);
+            prop_assert_eq!(mine.len() + rest.len(), hashes.len());
+            prop_assert!(mine.iter().all(|&h| spec.owns_hash(h)));
+            prop_assert!(rest.iter().all(|&h| !spec.owns_hash(h)));
+            covered += mine.len();
+        }
+        // Summing slice sizes equals the grid size iff no hash is owned
+        // twice (with the per-slice disjointness above) or dropped.
+        prop_assert_eq!(covered, hashes.len());
+    }
+}
