@@ -200,6 +200,9 @@ fn main() {
     if shard.is_some() && (jobs.is_some() || merge) {
         fail_usage("--shard is a worker-only flag; it cannot combine with --jobs/--merge");
     }
+    if shard.is_some() && out.is_some() {
+        fail_usage("--shard writes worker artifacts to its spool; --out applies to the merge step only");
+    }
     if (shard.is_some() || jobs.is_some() || merge) && !use_cache {
         fail_usage("sharding coordinates through the disk cache; drop --no-cache");
     }
@@ -240,12 +243,14 @@ fn main() {
     // through to the merge pass over the warm cache.
     if let Some(n) = jobs {
         let exe = std::env::current_exe().expect("locate reproduce binary");
+        // Spools left behind by an earlier run with a *different* worker
+        // count (e.g. 3-of-4 after now running --jobs 2) would fold into
+        // the merge and double-count runs; start from an empty spool root.
+        let _ = std::fs::remove_dir_all(cache_dir().join("spool"));
         let mut children = Vec::new();
         for index in 1..=n {
             let spec = ShardSpec { index, count: n };
             let spool = spool_dir(spec);
-            // Stale spools would fold into the merge; start clean.
-            let _ = std::fs::remove_dir_all(&spool);
             std::fs::create_dir_all(&spool).expect("create shard spool");
             let mut cmd = std::process::Command::new(&exe);
             cmd.arg("--scale")
@@ -578,7 +583,7 @@ fn main() {
         }
     }
     if merge {
-        merge_spools();
+        merge_spools(jobs);
     }
     println!("done in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
 }
@@ -592,13 +597,23 @@ fn stat_u64(v: &waypart_telemetry::schema::Json, key: &str) -> u64 {
     }
 }
 
-/// The merge pass: folds every worker spool under `<cache>/spool/` —
-/// per-shard stats into a scaling summary on stdout, per-shard JSONL
-/// traces into one `merged_trace.jsonl` whose aggregate records are the
-/// fold of every shard's series/histograms. The *artifacts* need no
-/// folding at all: the pipeline above replayed the warm cache, which by
-/// determinism reproduces the single-process bytes exactly.
-fn merge_spools() {
+/// Parses a spool directory name `K-of-N` into `(K, N)`.
+fn parse_spool_label(name: &str) -> Option<(u32, u32)> {
+    let (k, n) = name.split_once("-of-")?;
+    Some((k.parse().ok()?, n.parse().ok()?))
+}
+
+/// The merge pass: folds the worker spools of *one* shard generation
+/// under `<cache>/spool/` — per-shard stats into a scaling summary on
+/// stdout, per-shard JSONL traces into one `merged_trace.jsonl` whose
+/// aggregate records are the fold of every shard's series/histograms.
+/// Spools whose `K-of-N` label names a different shard count (leftovers
+/// of an interrupted run with another `--jobs` value) are skipped
+/// loudly, never folded — folding them would double-count runs. The
+/// *artifacts* need no folding at all: the pipeline above replayed the
+/// warm cache, which by determinism reproduces the single-process bytes
+/// exactly.
+fn merge_spools(expected_shards: Option<u32>) {
     use waypart_telemetry::merge::AggregateMerge;
     use waypart_telemetry::schema::{self, Json};
 
@@ -611,6 +626,39 @@ fn merge_spools() {
         Err(_) => Vec::new(),
     };
     dirs.sort();
+    // Group the spools by the shard count their label claims; merge only
+    // the generation the caller asked for (--jobs N), or — standalone
+    // --merge — the largest count whose worker set is complete.
+    let mut counts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for dir in &dirs {
+        if let Some((_, n)) = dir.file_name().and_then(|f| f.to_str()).and_then(parse_spool_label)
+        {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+    }
+    let chosen = expected_shards.or_else(|| {
+        counts
+            .iter()
+            .filter(|&(n, present)| present == n)
+            .map(|(n, _)| *n)
+            .max()
+            .or_else(|| counts.keys().max().copied())
+    });
+    dirs.retain(|dir| {
+        let label = dir.file_name().and_then(|f| f.to_str()).and_then(parse_spool_label);
+        let keep = match (label, chosen) {
+            (Some((_, n)), Some(want)) => n == want,
+            _ => false,
+        };
+        if !keep {
+            println!(
+                "shard merge: skipping stale spool {} (merging {} shards)",
+                dir.display(),
+                chosen.map(|n| n.to_string()).unwrap_or_else(|| "?".into()),
+            );
+        }
+        keep
+    });
     for dir in &dirs {
         if let Ok(text) = std::fs::read_to_string(dir.join("stats.json")) {
             if let Ok(v) = schema::parse_json(text.trim()) {

@@ -216,10 +216,20 @@ impl Lab {
                 }
                 _ => {
                     if last_progress.elapsed() >= self.wait_grace {
+                        // A dead owner never releases its claim file
+                        // (ClaimGuard::drop never ran), and try_claim's
+                        // create_new would fail against it forever;
+                        // clear any claim older than the grace period
+                        // so the takeover below can succeed.
+                        self.cache.break_stale_claim(key, self.wait_grace);
                         if let Some(claim) = self.cache.try_claim(key) {
                             // The entry may have landed between the
                             // lookup and the claim.
                             if let Some(v) = self.cache.lookup(key) {
+                                self.wait_us.fetch_add(
+                                    started.elapsed().as_micros() as u64,
+                                    Ordering::Relaxed,
+                                );
                                 return v;
                             }
                             self.takeovers.fetch_add(1, Ordering::Relaxed);
@@ -600,6 +610,30 @@ mod tests {
         let shard = lab.shard_stats();
         assert!(shard.takeovers > 0, "non-owned keys must be taken over, not hung on");
         assert_eq!(shard.waits, shard.takeovers, "every wait resolved by takeover");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_claim_from_dead_peer_does_not_livelock() {
+        // A peer claimed keys and was killed: its claim files outlive it
+        // (ClaimGuard::drop never ran). The surviving worker must break
+        // them once they age past the grace period and take the keys
+        // over — not read the failing try_claim as a lost race and poll
+        // forever.
+        let dir = tmp_dir("dead-peer");
+        let cfg = RunnerConfig::test();
+        let reference: Vec<String> = exercise(&Lab::new(cfg.clone()));
+        {
+            let dead = RunCache::persistent(&cfg, dir.clone());
+            for ways in [4usize, 8, 12] {
+                let g = dead.try_claim(&format!("solo|swaptions|t2w{ways}pf1")).expect("claim");
+                std::mem::forget(g);
+            }
+        }
+        let lab = Lab::persistent_at(cfg, dir.clone())
+            .with_shard(ShardSpec { index: 1, count: 2 })
+            .with_wait_grace(Duration::from_millis(50));
+        assert_eq!(exercise(&lab), reference);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

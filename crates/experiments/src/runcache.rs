@@ -410,6 +410,25 @@ impl RunCache {
         let modified = std::fs::metadata(&path).ok()?.modified().ok()?;
         Some(modified.elapsed().map(|d| d.as_secs_f64()).unwrap_or(0.0))
     }
+
+    /// Removes the claim file for `key_suffix` if it is at least
+    /// `older_than` old; returns whether a stale claim was removed. A
+    /// claim whose owner died without running [`ClaimGuard::drop`] (OOM,
+    /// SIGKILL) would otherwise block [`Self::try_claim`]'s `create_new`
+    /// forever — a waiter past its grace period calls this first so the
+    /// takeover can actually succeed. Best-effort like every claim
+    /// operation: racing a live re-claimant at worst duplicates one run.
+    pub fn break_stale_claim(&self, key_suffix: &str, older_than: std::time::Duration) -> bool {
+        let key = self.full_key(key_suffix);
+        let Some(path) = self.claim_path(&key) else {
+            return false;
+        };
+        let stale = std::fs::metadata(&path)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .is_some_and(|t| t.elapsed().map(|age| age >= older_than).unwrap_or(false));
+        stale && std::fs::remove_file(&path).is_ok()
+    }
 }
 
 /// Holds a best-effort cross-process claim on one run-cache key;
@@ -672,6 +691,30 @@ mod tests {
         drop(guard);
         assert!(b.claim_age_secs("pair|c+d|shared").is_none(), "drop releases the claim");
         assert!(b.try_claim("pair|c+d|shared").is_some(), "released key is claimable again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_claims_can_be_broken_for_takeover() {
+        let dir = tmp_dir("stale-claim");
+        let cfg = RunnerConfig::test();
+        let a = RunCache::persistent(&cfg, dir.clone());
+        let guard = a.try_claim("pair|x+y|shared").expect("first claim");
+        // The owner "crashes": ClaimGuard::drop never runs and the claim
+        // file outlives the process.
+        std::mem::forget(guard);
+        let b = RunCache::persistent(&cfg, dir.clone());
+        assert!(b.try_claim("pair|x+y|shared").is_none(), "stale claim still blocks create_new");
+        assert!(
+            !b.break_stale_claim("pair|x+y|shared", std::time::Duration::from_secs(60)),
+            "a claim younger than the threshold must not be broken"
+        );
+        assert!(b.try_claim("pair|x+y|shared").is_none(), "fresh-looking claim still holds");
+        assert!(
+            b.break_stale_claim("pair|x+y|shared", std::time::Duration::ZERO),
+            "past the threshold the dead owner's claim is removed"
+        );
+        assert!(b.try_claim("pair|x+y|shared").is_some(), "takeover can now claim the key");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

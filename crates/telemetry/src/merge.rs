@@ -54,7 +54,7 @@ impl AggregateMerge {
             }
             match schema::parse_json(trimmed) {
                 Ok(v) if v.get("record").is_some() => {
-                    if self.fold_record(&v).is_none() {
+                    if self.fold_record(&v, trimmed).is_none() {
                         self.bad_records += 1;
                     }
                 }
@@ -67,8 +67,10 @@ impl AggregateMerge {
         events
     }
 
-    /// Folds one parsed record object; `None` if it is malformed.
-    fn fold_record(&mut self, v: &Json) -> Option<()> {
+    /// Folds one parsed record object; `None` if it is malformed. `raw`
+    /// is the record's original JSON text, needed to read the `u128`
+    /// histogram sum without the f64 round-trip of [`Json::Num`].
+    fn fold_record(&mut self, v: &Json, raw: &str) -> Option<()> {
         let kind = match v.get("record")? {
             Json::Str(s) => s.as_str(),
             _ => return None,
@@ -102,13 +104,16 @@ impl AggregateMerge {
                     .or_insert(incoming);
             }
             "hist" => {
-                let sum = get_u64(v, "sum")?;
+                // Fall back to the f64 path for producers whose spacing
+                // defeats the raw scan (e.g. `"sum" : 1`).
+                let sum = get_u128_raw(raw, "sum")
+                    .or_else(|| get_u64(v, "sum").map(u128::from))?;
                 let min = get_u64(v, "min")?;
                 let max = get_u64(v, "max")?;
                 let buckets = get_pairs(v, "buckets")?;
                 let incoming = Histogram::from_parts(
                     buckets.into_iter().map(|(lo, n)| (lo, n as u64)),
-                    u128::from(sum),
+                    sum,
                     min,
                     max,
                 );
@@ -166,6 +171,22 @@ fn get_u64(v: &Json, key: &str) -> Option<u64> {
         Json::Num { value, is_int } if *is_int && *value >= 0.0 => Some(*value as u64),
         _ => None,
     }
+}
+
+/// Reads an unsigned integer field straight from the record's raw JSON
+/// text. The histogram `sum` is a `u128`; [`Json::Num`] carries an f64,
+/// which silently rounds integers above 2^53 and cannot represent large
+/// sums at all — so the exact histogram fold must bypass it. The key
+/// cannot collide with string *values*: `"sum":` contains an unescaped
+/// quote, which never occurs inside an escaped JSON string.
+fn get_u128_raw(raw: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let rest = raw[raw.find(&pat)? + pat.len()..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    if matches!(rest[end..].chars().next(), Some('.' | 'e' | 'E')) {
+        return None; // a float token is a malformed record, not a sum
+    }
+    rest[..end].parse::<u128>().ok()
 }
 
 /// Reads a `[[u64, f64], ...]` pair array (series points / hist buckets).
@@ -244,6 +265,20 @@ mod tests {
         assert_eq!(folded.min(), union.min());
         assert_eq!(folded.max(), union.max());
         assert_eq!(folded.p50(), union.p50());
+    }
+
+    #[test]
+    fn huge_hist_sums_survive_the_fold_exactly() {
+        // Sums above 2^53 are not representable in the f64 the JSON
+        // parser carries; the fold must read them from the raw token.
+        let sum = (1u128 << 90) + 12_345;
+        let h = Histogram::from_parts([(1024u64, 3u64)], sum, 1000, 2000);
+        let mut acc = AggregateMerge::new();
+        acc.fold_jsonl(&h.to_json_record("sim.latency.sum"));
+        acc.fold_jsonl(&h.to_json_record("sim.latency.sum"));
+        let folded = acc.hist("sim.latency.sum").expect("folded hist");
+        assert_eq!(folded.sum(), sum * 2, "u128 sums must fold without f64 rounding");
+        assert_eq!(acc.bad_records(), 0);
     }
 
     #[test]
