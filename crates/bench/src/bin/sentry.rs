@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sentry --history BENCH_history.jsonl [--metric KEY]...
-//!        [--current FILE.json] [--noise 0.10] [--z 3.0]
+//!        [--current FILE.json] [--noise 0.10] [--z 3.0] [--json FILE]
 //! ```
 //!
 //! Each history line is one benchmarking session's JSON record (the
@@ -19,6 +19,12 @@
 //! Exits nonzero only when some metric regresses beyond the noise band;
 //! missing metrics and short histories pass with a note, so the check is
 //! safe to wire into CI from the very first run.
+//!
+//! `--json FILE` additionally writes one machine-readable verdict record
+//! per judged metric (`{"record":"verdict","metric":...,"verdict":
+//! "pass|regression|insufficient_history|skip",...}`, `-` for stdout) —
+//! the schema the `validate_trace` binary accepts and the trend page
+//! (`report --history ... --verdicts FILE`) renders as badges.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,12 +52,39 @@ fn parse_history(text: &str, path: &str) -> Result<Vec<Json>, String> {
     Ok(records)
 }
 
+/// Formats an optional number as a JSON value (`null` when absent).
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// One `{"record":"verdict",...}` line for the machine-readable output.
+fn verdict_record(
+    metric: &str,
+    verdict: &str,
+    current: Option<f64>,
+    median: Option<f64>,
+    threshold: Option<f64>,
+    n: usize,
+) -> String {
+    format!(
+        "{{\"record\":\"verdict\",\"metric\":\"{metric}\",\"verdict\":\"{verdict}\",\
+         \"current\":{},\"median\":{},\"threshold\":{},\"n\":{n}}}\n",
+        json_opt(current),
+        json_opt(median),
+        json_opt(threshold),
+    )
+}
+
 fn main() -> ExitCode {
     let mut history_path: Option<PathBuf> = None;
     let mut current_path: Option<PathBuf> = None;
     let mut metrics: Vec<String> = Vec::new();
     let mut noise = DEFAULT_NOISE_FRAC;
     let mut z = DEFAULT_Z;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -70,10 +103,12 @@ fn main() -> ExitCode {
                     .expect("--noise must be a number")
             }
             "--z" => z = args.next().expect("--z needs a value").parse().expect("--z must be a number"),
+            "--json" => json_path = Some(PathBuf::from(args.next().expect("--json needs a path"))),
             "--help" | "-h" => {
                 println!(
                     "usage: sentry --history BENCH_history.jsonl [--metric KEY]... \
-                     [--current FILE.json] [--noise {DEFAULT_NOISE_FRAC}] [--z {DEFAULT_Z}]"
+                     [--current FILE.json] [--noise {DEFAULT_NOISE_FRAC}] [--z {DEFAULT_Z}] \
+                     [--json FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -152,24 +187,46 @@ fn main() -> ExitCode {
     };
 
     let mut regressed = false;
+    let mut verdict_lines = String::new();
     for key in &metrics {
+        let hist: Vec<f64> = records.iter().filter_map(|r| metric_value(r, key)).collect();
         let cur = match metric_value(&current, key) {
             Some(v) => v,
             None => {
                 println!("{key}: SKIP (metric absent from current measurement)");
+                verdict_lines.push_str(&verdict_record(key, "skip", None, None, None, hist.len()));
                 continue;
             }
         };
-        let hist: Vec<f64> = records.iter().filter_map(|r| metric_value(r, key)).collect();
         match judge(&hist, cur, noise, z) {
-            Verdict::Pass { median, threshold } => println!(
-                "{key}: PASS current {cur:.3} vs median {median:.3} (threshold {threshold:.3}, \
-                 n={})",
-                hist.len()
-            ),
-            Verdict::InsufficientHistory { have } => println!(
-                "{key}: PASS (only {have} history entries, need {MIN_HISTORY} — recording, not judging)"
-            ),
+            Verdict::Pass { median, threshold } => {
+                println!(
+                    "{key}: PASS current {cur:.3} vs median {median:.3} (threshold {threshold:.3}, \
+                     n={})",
+                    hist.len()
+                );
+                verdict_lines.push_str(&verdict_record(
+                    key,
+                    "pass",
+                    Some(cur),
+                    Some(median),
+                    Some(threshold),
+                    hist.len(),
+                ));
+            }
+            Verdict::InsufficientHistory { have } => {
+                println!(
+                    "{key}: PASS (only {have} history entries, need {MIN_HISTORY} — recording, not judging)"
+                );
+                verdict_lines.push_str(&verdict_record(
+                    key,
+                    "insufficient_history",
+                    Some(cur),
+                    None,
+                    None,
+                    have,
+                ));
+            }
             Verdict::Regression { median, threshold, excess_frac } => {
                 regressed = true;
                 println!(
@@ -178,7 +235,23 @@ fn main() -> ExitCode {
                     excess_frac * 100.0,
                     hist.len()
                 );
+                verdict_lines.push_str(&verdict_record(
+                    key,
+                    "regression",
+                    Some(cur),
+                    Some(median),
+                    Some(threshold),
+                    hist.len(),
+                ));
             }
+        }
+    }
+    if let Some(path) = &json_path {
+        if path.as_os_str() == "-" {
+            print!("{verdict_lines}");
+        } else if let Err(e) = std::fs::write(path, &verdict_lines) {
+            eprintln!("{}: cannot write verdicts: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
     if regressed {

@@ -169,6 +169,13 @@ impl DynamicPartitioner {
     /// additionally emits `dyn.realloc` — together they are a
     /// machine-readable version of the paper's Fig 12 way trace.
     pub fn observe_at(&mut self, now: u64, raw_mpki: f64) -> Option<Reallocation> {
+        let phase_t0 = telemetry::progress::phase_begin();
+        let result = self.observe_inner(now, raw_mpki);
+        telemetry::progress::phase_add(telemetry::progress::Phase::Controller, phase_t0);
+        result
+    }
+
+    fn observe_inner(&mut self, now: u64, raw_mpki: f64) -> Option<Reallocation> {
         let current_mpki = self.smooth(raw_mpki);
         let event = self.detector.observe(current_mpki);
         let before = self.fg_ways;

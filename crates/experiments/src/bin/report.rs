@@ -8,13 +8,21 @@
 //!
 //! ```text
 //! report --trace PATH.jsonl [--metrics PATH.json] [--out report.html]
+//! report --history BENCH_history.jsonl [--verdicts FILE.jsonl] [--out trend.html]
 //! report --check report.html
 //! ```
 //!
+//! `--history` renders the perf-trend analytics page instead of the run
+//! dashboard: one sparkline panel per tracked metric (cold/warm seconds,
+//! engine ns/access, sharded cold time, parallel efficiency) across the
+//! sessions recorded in a `BENCH_history.jsonl`, segmented by host,
+//! annotated with `sentry --json` verdicts when `--verdicts` is given.
+//!
 //! `--check` validates a generated report instead of building one:
-//! balanced structural tags, a non-empty occupancy heatmap
-//! (`data-cells` > 0), and the absence of URL-shaped strings or script
-//! tags. Exits nonzero on the first violation; used by `scripts/ci.sh`.
+//! balanced structural tags, non-empty data panels (`data-cells` > 0),
+//! and the absence of URL-shaped strings or script tags. Exits nonzero
+//! on the first violation; used by `scripts/ci.sh`. The same rules apply
+//! to every page this binary emits (dashboard and trend alike).
 //!
 //! Cache-warm traces (a `reproduce` rerun that replayed everything from
 //! `results/cache/`) carry `dyn.run` summaries but no `runner.run` spans
@@ -421,6 +429,33 @@ fn build_html(d: &TraceData, metrics: Option<&Json>, trace_path: &str) -> String
     };
     body.push_str(&panel("Paper delta (§6.3 headline numbers)", delta_body));
 
+    // ---- phase-level time attribution ("where the time went")
+    if let Some(phases) = metrics.and_then(|m| m.get("phase_seconds")) {
+        if let Json::Obj(fields) = phases {
+            let wall = num(phases, "wall").unwrap_or(0.0);
+            let mut t = Table::new(["phase", "seconds", "% of wall"]);
+            let mut accounted = 0.0;
+            for (name, v) in fields {
+                let Json::Num { value, .. } = v else { continue };
+                if name == "wall" {
+                    continue;
+                }
+                if name != "other" {
+                    accounted += value;
+                }
+                let share = if wall > 0.0 { value / wall * 100.0 } else { 0.0 };
+                t.push([name.clone(), format!("{value:.2}"), format!("{share:.1}%")]);
+            }
+            let phase_body = format!(
+                "<p>{wall:.1}s wall, {:.1}% attributed to instrumented phases \
+                 (phase time sums across worker threads)</p>{}",
+                if wall > 0.0 { accounted / wall * 100.0 } else { 0.0 },
+                t.render_html(),
+            );
+            body.push_str(&panel("Where the time went (phase attribution)", phase_body));
+        }
+    }
+
     // ---- figure timings + cache traffic
     let mut timing_body = if d.figure_secs.is_empty() {
         placeholder("no figure.run spans in this trace")
@@ -510,7 +545,9 @@ fn check_report(html: &str) -> Vec<String> {
 fn main() -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
-    let mut out = PathBuf::from("report.html");
+    let mut history: Option<PathBuf> = None;
+    let mut verdicts: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -519,11 +556,18 @@ fn main() -> ExitCode {
             "--metrics" => {
                 metrics = Some(PathBuf::from(args.next().expect("--metrics needs a path")))
             }
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--history" => {
+                history = Some(PathBuf::from(args.next().expect("--history needs a path")))
+            }
+            "--verdicts" => {
+                verdicts = Some(PathBuf::from(args.next().expect("--verdicts needs a path")))
+            }
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
             "--check" => check = Some(PathBuf::from(args.next().expect("--check needs a path"))),
             "--help" | "-h" => {
                 println!(
                     "usage: report --trace PATH.jsonl [--metrics PATH.json] [--out report.html]\n\
+                     \u{20}      report --history BENCH_history.jsonl [--verdicts FILE.jsonl] [--out trend.html]\n\
                      \u{20}      report --check report.html"
                 );
                 return ExitCode::SUCCESS;
@@ -552,6 +596,58 @@ fn main() -> ExitCode {
             eprintln!("{}: {v}", path.display());
         }
         return ExitCode::FAILURE;
+    }
+
+    // Trend mode: render the historical perf analytics page and exit.
+    if let Some(history_path) = history {
+        use waypart_experiments::trend;
+        let text_body = match std::fs::read_to_string(&history_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: cannot read: {e}", history_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let sessions = match trend::parse_history(&text_body) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: invalid history: {e}", history_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let notes = match &verdicts {
+            Some(p) => {
+                let t = match std::fs::read_to_string(p) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{}: cannot read: {e}", p.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match trend::parse_verdicts(&t) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("{}: invalid verdicts: {e}", p.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => Vec::new(),
+        };
+        let html = trend::render_trend_html(&sessions, &notes);
+        let out = out.unwrap_or_else(|| PathBuf::from("trend.html"));
+        if let Err(e) = std::fs::write(&out, &html) {
+            eprintln!("{}: cannot write: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trend page written to {} ({} bytes, {} sessions, {} verdicts)",
+            out.display(),
+            html.len(),
+            sessions.len(),
+            notes.len(),
+        );
+        return ExitCode::SUCCESS;
     }
 
     let trace = match trace {
@@ -587,6 +683,7 @@ fn main() -> ExitCode {
         }
     });
     let html = build_html(&data, metrics_doc.as_ref(), &trace.display().to_string());
+    let out = out.unwrap_or_else(|| PathBuf::from("report.html"));
     if let Err(e) = std::fs::write(&out, &html) {
         eprintln!("{}: cannot write: {e}", out.display());
         return ExitCode::FAILURE;

@@ -57,11 +57,12 @@ use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use waypart_core::runner::{FidelityMode, RunnerConfig};
 use waypart_core::sweep::ShardSpec;
 use waypart_experiments::*;
+use waypart_telemetry::progress;
 use waypart_telemetry::sinks::{ChromeTraceSink, JsonlSink, MetricsSink, MultiSink, SeriesSink};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
 
@@ -104,6 +105,7 @@ impl FigureTimer {
     }
 
     fn run<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        progress::set_stage(name);
         telemetry::emit_with(|| {
             Event::begin("figure.run", Stamp::WallUs(telemetry::wall_now_us()))
                 .field("figure", name)
@@ -206,6 +208,14 @@ fn main() {
     if (shard.is_some() || jobs.is_some() || merge) && !use_cache {
         fail_usage("sharding coordinates through the disk cache; drop --no-cache");
     }
+    // A standalone --merge must not fold a fleet that is still running:
+    // live workers are still filling the cache, so the replay below would
+    // duplicate their in-flight work and the fold would be partial.
+    // Checked again inside merge_spools (cheap), but refusing up front
+    // avoids paying for a whole pipeline replay first.
+    if merge && jobs.is_none() {
+        refuse_if_fleet_live();
+    }
     if wanted.is_empty() || wanted.contains("all") {
         wanted = [
             "fig1", "table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
@@ -239,6 +249,12 @@ fn main() {
     };
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
+    // The fleet session id groups one coordinator invocation's worker
+    // history entries; workers inherit it through the environment so the
+    // merge can dedupe re-run shards by `{session}/{label}`.
+    let fleet_session = std::env::var("WAYPART_SESSION")
+        .unwrap_or_else(|_| format!("{}-{}", std::process::id(), progress::unix_now_ms()));
+
     // Coordinator: fork the workers, wait for all of them, then fall
     // through to the merge pass over the warm cache.
     if let Some(n) = jobs {
@@ -264,6 +280,7 @@ fn main() {
                 .arg("--metrics")
                 .arg(spool.join("metrics.json"))
                 .args(wanted.iter())
+                .env("WAYPART_SESSION", &fleet_session)
                 .stdout(std::process::Stdio::null());
             let child = cmd.spawn().unwrap_or_else(|e| {
                 eprintln!("reproduce: failed to spawn worker {spec}: {e}");
@@ -323,6 +340,27 @@ fn main() {
         (true, Some(spec)) => Lab::persistent(cfg.clone()).with_shard(spec),
         (true, None) => Lab::persistent(cfg.clone()),
         (false, _) => Lab::new(cfg.clone()),
+    };
+    // Phase attribution is always on for `reproduce` — the accumulators
+    // are a handful of relaxed atomics, and the end-of-run "where the
+    // time went" table depends on them.
+    progress::enable_phase_timers();
+    progress::set_stage("startup");
+    // Heartbeat: every persistent-cache run keeps an atomic status.json
+    // alive in its spool directory (`<cache>/spool/<K-of-N>/` for shard
+    // workers, `<cache>/spool/main/` otherwise) for the `status` fleet
+    // table. `--no-cache` runs have no spool and get no heartbeat.
+    let heartbeat = if use_cache {
+        let label = shard.map(|s| s.label()).unwrap_or_else(|| "main".to_string());
+        progress::start_heartbeat(
+            &cache_dir().join("spool").join(&label),
+            &label,
+            Duration::from_secs(2),
+        )
+        .map_err(|e| eprintln!("reproduce: heartbeat disabled: {e}"))
+        .ok()
+    } else {
+        None
     };
     let started = std::time::Instant::now();
     let emit = |name: &str, text: String| {
@@ -529,7 +567,71 @@ fn main() {
             lab.cache().seen_keys().len(),
         );
         std::fs::write(out_dir.join("stats.json"), json).expect("write shard stats");
+        // One history line per worker session, appended so retries of a
+        // crashed shard accumulate; the merge dedupes by session id.
+        let history = format!(
+            "{{\"session\":\"{fleet_session}/{}\",\"shard\":\"{}\",\"seconds\":{:.3},\
+             \"misses\":{},\"waits\":{},\"takeovers\":{},\"at_unix_ms\":{}}}\n",
+            spec.label(),
+            spec.label(),
+            started.elapsed().as_secs_f64(),
+            stats.misses,
+            ss.waits,
+            ss.takeovers,
+            progress::unix_now_ms(),
+        );
+        use std::io::Write;
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(out_dir.join("history.jsonl"))
+            .and_then(|mut f| f.write_all(history.as_bytes()));
     }
+
+    // Merge before the phase accounting so the spool-merge phase shows
+    // up in the breakdown (the artifacts were already replayed above).
+    if merge {
+        progress::set_stage("merge");
+        let t0 = progress::phase_begin();
+        merge_spools(jobs, &fleet_session);
+        progress::phase_add(progress::Phase::SpoolMerge, t0);
+    }
+
+    // "Where the time went": the always-on phase accumulators, printed as
+    // a share of measured wall time. Phase time is summed across worker
+    // threads, so on a multi-core sweep the accounted share can exceed
+    // 100% of wall; `other` is the unattributed remainder (figure glue,
+    // artifact rendering, process startup).
+    let wall_s = started.elapsed().as_secs_f64();
+    let phases = progress::phase_snapshot();
+    let phase_sum_s: f64 = phases.iter().map(|(_, ns)| *ns as f64 / 1e9).sum();
+    let other_s = (wall_s - phase_sum_s).max(0.0);
+    println!("\nwhere the time went ({wall_s:.1}s wall):");
+    let pct = |s: f64| if wall_s > 0.0 { s / wall_s * 100.0 } else { 0.0 };
+    for (name, ns) in &phases {
+        let s = *ns as f64 / 1e9;
+        println!("  {name:<12} {s:>9.2}s  {:>5.1}%", pct(s));
+    }
+    println!("  {:<12} {other_s:>9.2}s  {:>5.1}%", "other", pct(other_s));
+    println!("  accounted: {:.1}% of wall by instrumented phases", pct(phase_sum_s));
+    // One counter event carrying the final per-phase totals, so JSONL
+    // traces and the series/hist aggregates record the attribution too.
+    telemetry::emit_with(|| {
+        let mut ev = Event::counter("phase.seconds", Stamp::WallUs(telemetry::wall_now_us()));
+        for (name, ns) in &phases {
+            ev = ev.field(*name, *ns as f64 / 1e9);
+        }
+        ev.field("other", other_s).field("wall", wall_s)
+    });
+    // `{"stream_gen":1.25,...,"other":0.04,"wall":12.3}` for the metrics file.
+    let phases_json = {
+        let mut s = String::from("{");
+        for (name, ns) in &phases {
+            s.push_str(&format!("\"{name}\":{:.6},", *ns as f64 / 1e9));
+        }
+        s.push_str(&format!("\"other\":{other_s:.6},\"wall\":{wall_s:.6}}}"));
+        s
+    };
 
     // Telemetry epilogue: metrics summary table, metrics JSON, trace
     // flush. All purely observational — nothing above read these sinks.
@@ -544,7 +646,8 @@ fn main() {
         );
         if let Some(path) = &metrics_path {
             let json = format!(
-                "{{\"scale\":\"{scale}\",\"figure_seconds\":{},\"cache\":{{\"mem_hits\":{},\
+                "{{\"scale\":\"{scale}\",\"figure_seconds\":{},\"phase_seconds\":{phases_json},\
+                 \"cache\":{{\"mem_hits\":{},\
                  \"disk_hits\":{},\"misses\":{},\"invalid_entries\":{},\"bytes_read\":{},\
                  \"bytes_written\":{},\"hit_ratio\":{:.6}}},\"events\":{}}}\n",
                 timer.to_json(),
@@ -582,10 +685,43 @@ fn main() {
             println!("trace written to {}", path.display());
         }
     }
-    if merge {
-        merge_spools(jobs);
+    if let Some(hb) = heartbeat {
+        hb.finish();
     }
     println!("done in {}s, artifacts in {}", started.elapsed().as_secs(), out_dir.display());
+}
+
+/// Standalone `--merge` guard: scans the fleet heartbeats and exits
+/// nonzero if any sharded worker is still live (fresh heartbeat, not
+/// done). The scan is also how a malformed heartbeat surfaces: path and
+/// reason on stderr, nonzero exit, no panic. Unsharded heartbeats (the
+/// `main` label — e.g. a concurrently running plain `reproduce`) don't
+/// block a merge; only `K-of-N` workers write the spools being folded.
+fn refuse_if_fleet_live() {
+    let spool_root = cache_dir().join("spool");
+    let fleet = match fleet::scan_fleet(&spool_root) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("reproduce: cannot scan fleet heartbeats: {e}");
+            std::process::exit(1);
+        }
+    };
+    let now = progress::unix_now_ms();
+    let live: Vec<&str> = fleet
+        .iter()
+        .filter(|w| parse_spool_label(&w.worker).is_some())
+        .filter(|w| w.state(now, fleet::DEFAULT_STALE_SECS) == fleet::WorkerState::Running)
+        .map(|w| w.worker.as_str())
+        .collect();
+    if !live.is_empty() {
+        eprintln!(
+            "reproduce: refusing to merge: {} live worker(s) still writing ({}); \
+             wait for the fleet to finish, or inspect it with `status`",
+            live.len(),
+            live.join(", "),
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Reads one integer field from a parsed shard `stats.json`.
@@ -606,21 +742,32 @@ fn parse_spool_label(name: &str) -> Option<(u32, u32)> {
 /// The merge pass: folds the worker spools of *one* shard generation
 /// under `<cache>/spool/` — per-shard stats into a scaling summary on
 /// stdout, per-shard JSONL traces into one `merged_trace.jsonl` whose
-/// aggregate records are the fold of every shard's series/histograms.
-/// Spools whose `K-of-N` label names a different shard count (leftovers
-/// of an interrupted run with another `--jobs` value) are skipped
-/// loudly, never folded — folding them would double-count runs. The
-/// *artifacts* need no folding at all: the pipeline above replayed the
-/// warm cache, which by determinism reproduces the single-process bytes
-/// exactly.
-fn merge_spools(expected_shards: Option<u32>) {
+/// aggregate records are the fold of every shard's series/histograms,
+/// and per-shard `history.jsonl` session lines into one
+/// `merged_history.jsonl` (deduped by session id) with an appended
+/// coordinator entry carrying the fleet-level `sharded_cold_s` and
+/// `parallel_efficiency`. Spools whose `K-of-N` label names a different
+/// shard count (leftovers of an interrupted run with another `--jobs`
+/// value) are skipped loudly, never folded — folding them would
+/// double-count runs; unlabeled directories (like the `main` heartbeat
+/// spool) are skipped silently. The *artifacts* need no folding at all:
+/// the pipeline above replayed the warm cache, which by determinism
+/// reproduces the single-process bytes exactly.
+fn merge_spools(expected_shards: Option<u32>, fleet_session: &str) {
     use waypart_telemetry::merge::AggregateMerge;
     use waypart_telemetry::schema::{self, Json};
 
+    // The fork path already waited for its children, but a standalone
+    // --merge may race a still-running fleet — refuse rather than fold a
+    // partial generation. (Checked before the replay too; a worker could
+    // have been launched while the replay ran.)
+    refuse_if_fleet_live();
     let spool_root = cache_dir().join("spool");
     let mut shards: Vec<(String, f64, u64, u64, u64, u64)> = Vec::new();
     let mut traces = AggregateMerge::new();
     let mut merged_events = String::new();
+    let mut merged_history = String::new();
+    let mut history_sessions: BTreeSet<String> = BTreeSet::new();
     let mut dirs: Vec<PathBuf> = match std::fs::read_dir(&spool_root) {
         Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect(),
         Err(_) => Vec::new(),
@@ -650,7 +797,10 @@ fn merge_spools(expected_shards: Option<u32>) {
             (Some((_, n)), Some(want)) => n == want,
             _ => false,
         };
-        if !keep {
+        // Only a *labeled* spool from another generation is worth a
+        // warning; unlabeled dirs (the `main` heartbeat spool) are
+        // expected bystanders.
+        if !keep && label.is_some() {
             println!(
                 "shard merge: skipping stale spool {} (merging {} shards)",
                 dir.display(),
@@ -686,6 +836,23 @@ fn merge_spools(expected_shards: Option<u32>) {
                 merged_events.push('\n');
             }
         }
+        if let Ok(text) = std::fs::read_to_string(dir.join("history.jsonl")) {
+            for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                // Dedupe by session id; a line without one keys on its
+                // own text (identical retries still collapse).
+                let id = schema::parse_json(line)
+                    .ok()
+                    .and_then(|v| match v.get("session") {
+                        Some(Json::Str(s)) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| line.to_string());
+                if history_sessions.insert(id) {
+                    merged_history.push_str(line);
+                    merged_history.push('\n');
+                }
+            }
+        }
     }
     if shards.is_empty() {
         println!("shard merge: no worker spools under {}", spool_root.display());
@@ -712,6 +879,27 @@ fn merge_spools(expected_shards: Option<u32>) {
         "  total: {misses} runs simulated, {takeovers} takeovers, {write_errors} write errors, \
          busy max {busy_max:.1}s / sum {busy_sum:.1}s, parallel efficiency {efficiency:.2}"
     );
+    // Fold the per-shard history sessions plus one coordinator entry:
+    // the fleet-level cold time is the slowest worker (the fleet's wall
+    // clock), not the sum. This stays in the spool — promoting a line
+    // into the committed BENCH_history.jsonl is bench.sh's job.
+    {
+        let shard_sessions = history_sessions.len();
+        merged_history.push_str(&format!(
+            "{{\"session\":\"{fleet_session}\",\"workers\":{},\"sharded_cold_s\":{busy_max:.3},\
+             \"parallel_efficiency\":{efficiency:.4},\"at_unix_ms\":{}}}\n",
+            shards.len(),
+            progress::unix_now_ms(),
+        ));
+        let history_path = spool_root.join("merged_history.jsonl");
+        match std::fs::write(&history_path, &merged_history) {
+            Ok(()) => println!(
+                "  merged history: {} ({shard_sessions} worker sessions + coordinator entry)",
+                history_path.display(),
+            ),
+            Err(e) => eprintln!("  merged history: write failed: {e}"),
+        }
+    }
     if traces.series_count() + traces.hist_count() > 0 || !merged_events.is_empty() {
         let merged_path = spool_root.join("merged_trace.jsonl");
         let mut doc = merged_events;

@@ -1,0 +1,265 @@
+//! Live fleet status: renders the worker heartbeats under
+//! `<cache>/spool/` as a table, flags stalled workers, and can snapshot
+//! the view as a self-contained HTML dashboard.
+//!
+//! ```text
+//! status [--cache DIR] [--stale-secs SECS] [--watch [SECS]] [--html FILE]
+//! ```
+//!
+//! Every `reproduce` invocation with a persistent cache maintains an
+//! atomic `status.json` heartbeat in its spool directory (shard workers
+//! under `<cache>/spool/K-of-N/`, unsharded runs under
+//! `<cache>/spool/main/`). This binary is the read side: worker, state
+//! (RUNNING / STALLED / DONE), current pipeline phase, run-grid progress,
+//! cache traffic, claims held, smoothed ns/access, and heartbeat age. A
+//! worker whose heartbeat is older than `--stale-secs` (default 30) and
+//! not marked done is STALLED — it crashed or hung, and its claims will
+//! be taken over by peers once the §5f grace period expires.
+//!
+//! `--watch [SECS]` re-renders every SECS (default 2) until interrupted.
+//! `--html FILE` additionally writes a static dashboard snapshot that
+//! passes `report --check` (balanced tags, no scripts, no URLs).
+//!
+//! A malformed heartbeat is reported with its path and reason, and the
+//! process exits nonzero — a torn or hand-edited status file must never
+//! silently vanish from a fleet report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use waypart_experiments::fleet::{
+    outstanding_claims, scan_fleet, WorkerState, WorkerStatus, DEFAULT_STALE_SECS,
+};
+use waypart_experiments::report::Table;
+use waypart_experiments::viz::html_escape;
+use waypart_telemetry::progress;
+
+const USAGE: &str = "usage: status [--cache DIR] [--stale-secs SECS] [--watch [SECS]] [--html FILE]\n\
+  --cache DIR       run-cache directory (default $WAYPART_CACHE_DIR or results/cache)\n\
+  --stale-secs N    heartbeat age after which a not-done worker is STALLED (default 30)\n\
+  --watch [SECS]    re-render every SECS seconds (default 2) until interrupted\n\
+  --html FILE       also write a self-contained HTML snapshot of the fleet";
+
+fn state_label(state: WorkerState) -> &'static str {
+    match state {
+        WorkerState::Running => "RUNNING",
+        WorkerState::Stalled => "STALLED",
+        WorkerState::Done => "DONE",
+    }
+}
+
+/// One renderable view of the fleet at a scan instant.
+struct FleetView {
+    fleet: Vec<WorkerStatus>,
+    claims: Vec<(PathBuf, f64)>,
+    now_ms: u64,
+    stale_secs: f64,
+    spool: PathBuf,
+}
+
+impl FleetView {
+    fn scan(cache: &PathBuf, stale_secs: f64) -> Result<FleetView, String> {
+        let spool = cache.join("spool");
+        let fleet = scan_fleet(&spool)?;
+        Ok(FleetView {
+            fleet,
+            claims: outstanding_claims(cache),
+            now_ms: progress::unix_now_ms(),
+            stale_secs,
+            spool,
+        })
+    }
+
+    fn stalled(&self) -> usize {
+        self.fleet
+            .iter()
+            .filter(|w| w.state(self.now_ms, self.stale_secs) == WorkerState::Stalled)
+            .count()
+    }
+
+    fn table(&self) -> Table {
+        let mut t = Table::new([
+            "worker", "state", "phase", "progress", "runs", "hits", "misses", "waits",
+            "takeovers", "claims", "ns/acc", "age",
+        ]);
+        for w in &self.fleet {
+            let state = w.state(self.now_ms, self.stale_secs);
+            t.push([
+                w.worker.clone(),
+                state_label(state).to_string(),
+                w.phase.clone(),
+                format!("{:.0}%", w.progress_frac() * 100.0),
+                format!("{}/{}", w.runs_done, w.runs_total),
+                format!("{}", w.mem_hits + w.disk_hits),
+                format!("{}", w.misses),
+                format!("{}", w.waits),
+                format!("{}", w.takeovers),
+                format!("{}", w.claims_held),
+                match w.ns_per_access {
+                    Some(ns) => format!("{ns:.1}"),
+                    None => "—".to_string(),
+                },
+                format!("{:.0}s", w.age_secs(self.now_ms)),
+            ]);
+        }
+        t
+    }
+
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.fleet.is_empty() {
+            out.push_str(&format!("no worker heartbeats under {}\n", self.spool.display()));
+            return out;
+        }
+        out.push_str(&self.table().render());
+        let stalled = self.stalled();
+        if stalled > 0 {
+            out.push_str(&format!(
+                "\nWARNING: {stalled} worker(s) STALLED (heartbeat older than {:.0}s, not done) \
+                 — crashed or hung; peers take over their claims after the grace period\n",
+                self.stale_secs,
+            ));
+        }
+        if !self.claims.is_empty() {
+            out.push_str(&format!("\noutstanding claims ({}):\n", self.claims.len()));
+            for (path, age) in self.claims.iter().take(8) {
+                out.push_str(&format!("  {:.0}s  {}\n", age, path.display()));
+            }
+            if self.claims.len() > 8 {
+                out.push_str(&format!("  ... and {} more\n", self.claims.len() - 8));
+            }
+        }
+        out
+    }
+
+    /// Self-contained HTML snapshot; passes the `report --check` rules
+    /// (balanced tags, `data-cells` total > 0, no scripts or URLs).
+    fn render_html(&self) -> String {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "<h1>waypart fleet status</h1><p class=\"meta\">spool: <code>{}</code> \
+             &middot; {} worker(s), {} stalled, {} open claim(s) \
+             &middot; stale threshold {:.0}s</p>",
+            html_escape(&self.spool.display().to_string()),
+            self.fleet.len(),
+            self.stalled(),
+            self.claims.len(),
+            self.stale_secs,
+        ));
+        if self.fleet.is_empty() {
+            body.push_str(
+                "<div class=\"panel\" data-cells=\"0\"><p class=\"placeholder\">no worker \
+                 heartbeats found</p></div>",
+            );
+        } else {
+            body.push_str(&format!(
+                "<div class=\"panel\" data-cells=\"{}\"><h2>Workers</h2>{}</div>",
+                self.fleet.len(),
+                self.table().render_html(),
+            ));
+        }
+        if !self.claims.is_empty() {
+            let mut t = Table::new(["claim", "age"]);
+            for (path, age) in &self.claims {
+                let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+                t.push([name, format!("{age:.0}s")]);
+            }
+            body.push_str(&format!(
+                "<div class=\"panel\" data-cells=\"{}\"><h2>Outstanding claims</h2>{}</div>",
+                self.claims.len(),
+                t.render_html(),
+            ));
+        }
+        format!(
+            "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+             <title>waypart fleet status</title><style>{STYLE}</style></head>\
+             <body data-kind=\"fleet\">{body}</body></html>"
+        )
+    }
+}
+
+/// Inline stylesheet — the snapshot's only styling, embedded so the file
+/// has zero external references.
+const STYLE: &str = "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:70em;\
+color:#111}h1{font-size:1.5em}h2{font-size:1.1em;margin:0 0 .5em}\
+.meta{color:#555}.panel{border:1px solid #ddd;border-radius:6px;padding:1em;margin:1em 0}\
+.placeholder{color:#777;font-style:italic}table{border-collapse:collapse}\
+th,td{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-size:.9em}\
+th{background:#f3f4f6}code{background:#f3f4f6;padding:0 .2em}";
+
+fn main() -> ExitCode {
+    let mut cache = std::env::var_os("WAYPART_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results").join("cache"));
+    let mut stale_secs = DEFAULT_STALE_SECS;
+    let mut watch: Option<f64> = None;
+    let mut html: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cache" => match args.next() {
+                Some(dir) => cache = PathBuf::from(dir),
+                None => return usage_error("--cache needs a directory"),
+            },
+            "--stale-secs" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => stale_secs = v,
+                _ => return usage_error("--stale-secs needs a positive number"),
+            },
+            "--watch" => {
+                // The interval operand is optional: `--watch 5` or bare
+                // `--watch`; a following flag is not an interval.
+                watch = Some(
+                    args.peek()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|v| *v > 0.0)
+                        .map(|v| {
+                            args.next();
+                            v
+                        })
+                        .unwrap_or(2.0),
+                );
+            }
+            "--html" => match args.next() {
+                Some(p) => html = Some(PathBuf::from(p)),
+                None => return usage_error("--html needs a file path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    loop {
+        let view = match FleetView::scan(&cache, stale_secs) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("status: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if watch.is_some() {
+            // Clear screen + home, like `watch(1)`.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", view.render_text());
+        if let Some(path) = &html {
+            if let Err(e) = std::fs::write(path, view.render_html()) {
+                eprintln!("status: {}: cannot write: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("\nfleet snapshot written to {}", path.display());
+        }
+        match watch {
+            Some(interval) => std::thread::sleep(Duration::from_secs_f64(interval)),
+            None => return ExitCode::SUCCESS,
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("status: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,275 @@
+//! Fleet scanning: reading worker heartbeats out of a spool directory.
+//!
+//! Every `reproduce` worker maintains an atomic `status.json` heartbeat in
+//! its spool directory (`telemetry::progress`). This module is the reader
+//! side, shared by the `status` binary (fleet table, `--watch`, `--html`)
+//! and by `reproduce --merge`, which refuses to fold a fleet whose scan
+//! still shows live workers.
+//!
+//! A worker is **live** when its heartbeat says `done: false` and the
+//! heartbeat's own wall-clock stamp is younger than the staleness
+//! threshold; `done: false` plus an old stamp means the worker stalled or
+//! died (its final snapshot never ran). The default threshold
+//! ([`DEFAULT_STALE_SECS`]) is far below the §5f claim-takeover grace
+//! period, so a dead worker is visible to `status` long before a peer
+//! steals its keys.
+
+use std::path::{Path, PathBuf};
+
+use waypart_telemetry::schema::{parse_json, validate_line, Json};
+
+/// Heartbeat age beyond which a not-done worker counts as stalled.
+/// Heartbeats refresh every ~2 s, so 30 s ≈ fifteen missed beats —
+/// conservative against scheduler hiccups, and well under the 120 s
+/// claim-takeover grace (`Lab::wait_grace`), satisfying "flagged stalled
+/// before the takeover fires".
+pub const DEFAULT_STALE_SECS: f64 = 30.0;
+
+/// One worker's most recent heartbeat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStatus {
+    /// Worker label (`1-of-2`, or `main` for an unsharded run).
+    pub worker: String,
+    /// Pipeline stage the worker reported last (figure name, `merge`, …).
+    pub phase: String,
+    /// Runs resolved so far (hits, fresh simulations, awaited peers).
+    pub runs_done: u64,
+    /// Distinct run-grid keys seen so far.
+    pub runs_total: u64,
+    /// Run-cache traffic counters at the stamp.
+    pub mem_hits: u64,
+    /// See [`crate::runcache::CacheStats`].
+    pub disk_hits: u64,
+    /// Fresh simulations.
+    pub misses: u64,
+    /// Peer-wait episodes.
+    pub waits: u64,
+    /// Grace-period takeovers performed.
+    pub takeovers: u64,
+    /// Claim files currently held.
+    pub claims_held: u64,
+    /// Smoothed simulation speed, if the worker has formed an estimate.
+    pub ns_per_access: Option<f64>,
+    /// Whether the worker exited cleanly (final snapshot).
+    pub done: bool,
+    /// Wall-clock stamp of the snapshot (ms since the Unix epoch).
+    pub at_unix_ms: u64,
+    /// The heartbeat file this was read from.
+    pub path: PathBuf,
+}
+
+/// Liveness verdict for one worker at a given scan instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Heartbeat is fresh and the worker has not finished.
+    Running,
+    /// Not done, but the heartbeat is older than the staleness threshold:
+    /// the worker crashed, hung, or lost its scheduler slot.
+    Stalled,
+    /// The worker wrote its final `done: true` snapshot.
+    Done,
+}
+
+impl WorkerStatus {
+    /// Parses one heartbeat document. `path` is baked into every error so
+    /// a malformed file in a big spool is directly actionable.
+    pub fn parse(text: &str, path: &Path) -> Result<WorkerStatus, String> {
+        let line = text.trim();
+        validate_line(line).map_err(|e| format!("{}: {e}", path.display()))?;
+        let v = parse_json(line).map_err(|e| format!("{}: {e}", path.display()))?;
+        if v.get("record") != Some(&Json::Str("status".into())) {
+            return Err(format!("{}: not a status record", path.display()));
+        }
+        let s = |key: &str| match v.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let n = |key: &str| match v.get(key) {
+            Some(Json::Num { value, .. }) => *value as u64,
+            _ => 0,
+        };
+        Ok(WorkerStatus {
+            worker: s("worker"),
+            phase: s("phase"),
+            runs_done: n("runs_done"),
+            runs_total: n("runs_total"),
+            mem_hits: n("mem_hits"),
+            disk_hits: n("disk_hits"),
+            misses: n("misses"),
+            waits: n("waits"),
+            takeovers: n("takeovers"),
+            claims_held: n("claims_held"),
+            ns_per_access: match v.get("ns_per_access") {
+                Some(Json::Num { value, .. }) => Some(*value),
+                _ => None,
+            },
+            done: matches!(v.get("done"), Some(Json::Bool(true))),
+            at_unix_ms: n("at_unix_ms"),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Seconds between the snapshot stamp and `now_ms` (clamped at 0).
+    pub fn age_secs(&self, now_ms: u64) -> f64 {
+        now_ms.saturating_sub(self.at_unix_ms) as f64 / 1000.0
+    }
+
+    /// Liveness at `now_ms` under a `stale_secs` threshold.
+    pub fn state(&self, now_ms: u64, stale_secs: f64) -> WorkerState {
+        if self.done {
+            WorkerState::Done
+        } else if self.age_secs(now_ms) > stale_secs {
+            WorkerState::Stalled
+        } else {
+            WorkerState::Running
+        }
+    }
+
+    /// Fraction of the seen run grid resolved (0 when nothing seen yet).
+    /// Clamped at 1: `runs_done` counts every resolved lookup, including
+    /// repeat hits on an already-cached key, so it can exceed the
+    /// distinct-key total on warm replays.
+    pub fn progress_frac(&self) -> f64 {
+        if self.runs_total == 0 {
+            0.0
+        } else {
+            (self.runs_done as f64 / self.runs_total as f64).min(1.0)
+        }
+    }
+}
+
+/// Reads every `<spool>/*/status.json` heartbeat, sorted by worker label.
+/// A missing or empty spool is an empty fleet, not an error; a heartbeat
+/// that exists but fails validation *is* an error (reported with its
+/// path), because a torn or hand-edited heartbeat should never silently
+/// vanish from a fleet report.
+pub fn scan_fleet(spool: &Path) -> Result<Vec<WorkerStatus>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(spool) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(out),
+    };
+    for entry in entries.flatten() {
+        let hb = entry.path().join("status.json");
+        if !hb.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&hb)
+            .map_err(|e| format!("{}: {e}", hb.display()))?;
+        out.push(WorkerStatus::parse(&text, &hb)?);
+    }
+    out.sort_by(|a, b| a.worker.cmp(&b.worker));
+    Ok(out)
+}
+
+/// Number of workers [`WorkerState::Running`] at `now_ms` — the quantity
+/// `reproduce --merge` refuses on.
+pub fn live_workers(fleet: &[WorkerStatus], now_ms: u64, stale_secs: f64) -> usize {
+    fleet.iter().filter(|w| w.state(now_ms, stale_secs) == WorkerState::Running).count()
+}
+
+/// Outstanding claim files (`<cache>/*.claim`) with their ages in seconds
+/// — fleet-wide, since claim files carry no owner identity. Sorted oldest
+/// first.
+pub fn outstanding_claims(cache_dir: &Path) -> Vec<(PathBuf, f64)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(cache_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("claim") {
+            continue;
+        }
+        let age = std::fs::metadata(&path)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.elapsed().ok())
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        out.push((path, age));
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waypart_telemetry::progress;
+
+    fn tmp_spool(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("waypart-fleet-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A synthetic heartbeat whose stamp is `age_secs` in the past.
+    fn write_aged(spool: &Path, worker: &str, age_secs: u64, done: bool) {
+        let dir = spool.join(worker);
+        std::fs::create_dir_all(&dir).unwrap();
+        let at = progress::unix_now_ms() - age_secs * 1000;
+        let line = format!(
+            "{{\"record\":\"status\",\"worker\":\"{worker}\",\"phase\":\"fig12\",\
+             \"runs_done\":3,\"runs_total\":10,\"mem_hits\":1,\"disk_hits\":1,\
+             \"misses\":1,\"waits\":0,\"takeovers\":0,\"claims_held\":1,\
+             \"ns_per_access\":99.4,\"done\":{done},\"at_unix_ms\":{at}}}"
+        );
+        std::fs::write(dir.join("status.json"), line).unwrap();
+    }
+
+    #[test]
+    fn fresh_heartbeat_is_running_and_aged_is_stalled() {
+        let spool = tmp_spool("stall");
+        write_aged(&spool, "1-of-2", 0, false);
+        write_aged(&spool, "2-of-2", 40, false);
+        let fleet = scan_fleet(&spool).unwrap();
+        assert_eq!(fleet.len(), 2);
+        let now = progress::unix_now_ms();
+        assert_eq!(fleet[0].state(now, DEFAULT_STALE_SECS), WorkerState::Running);
+        assert_eq!(fleet[1].state(now, DEFAULT_STALE_SECS), WorkerState::Stalled);
+        assert_eq!(live_workers(&fleet, now, DEFAULT_STALE_SECS), 1);
+        // The stall threshold must flag the dead worker well before the
+        // 120 s claim-takeover grace period would.
+        assert!(DEFAULT_STALE_SECS < 120.0);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn done_heartbeat_is_done_regardless_of_age() {
+        let spool = tmp_spool("done");
+        write_aged(&spool, "1-of-1", 9999, true);
+        let fleet = scan_fleet(&spool).unwrap();
+        let now = progress::unix_now_ms();
+        assert_eq!(fleet[0].state(now, DEFAULT_STALE_SECS), WorkerState::Done);
+        assert_eq!(live_workers(&fleet, now, DEFAULT_STALE_SECS), 0);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn malformed_heartbeat_reports_its_path() {
+        let spool = tmp_spool("bad");
+        let dir = spool.join("1-of-2");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("status.json"), "{\"record\":\"status\",\"worker\"").unwrap();
+        let err = scan_fleet(&spool).unwrap_err();
+        assert!(err.contains("status.json"), "error must name the file: {err}");
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn missing_spool_is_an_empty_fleet() {
+        assert_eq!(scan_fleet(Path::new("/nonexistent/spool")).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn real_snapshots_roundtrip_through_parse() {
+        progress::set_stage("roundtrip");
+        let line = progress::snapshot_json("3-of-4", false);
+        let ws = WorkerStatus::parse(&line, Path::new("x/status.json")).unwrap();
+        assert_eq!(ws.worker, "3-of-4");
+        assert_eq!(ws.phase, "roundtrip");
+        assert!(!ws.done);
+    }
+}

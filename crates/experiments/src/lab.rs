@@ -23,6 +23,7 @@ use waypart_sim::msr::PrefetcherMask;
 use waypart_workloads::{registry, AppSpec};
 
 use crate::runcache::{CacheStats, RunCache};
+use waypart_telemetry::progress::{self, Counter};
 use waypart_telemetry::{self as telemetry, Event, Stamp};
 
 /// Emits a `dyn.run` summary for a controller-driven pair result.
@@ -173,6 +174,7 @@ impl Lab {
         F: FnOnce() -> T,
     {
         if let Some(v) = self.cache.lookup(key) {
+            progress::count(Counter::RunDone);
             return v;
         }
         if self.owns(key) {
@@ -184,6 +186,7 @@ impl Lab {
             let v = run();
             self.cache.insert(key, &v);
             drop(claim); // release strictly after the entry is visible
+            progress::count(Counter::RunDone);
             return v;
         }
         self.wait_for_peer(key, run)
@@ -201,12 +204,14 @@ impl Lab {
         F: FnOnce() -> T,
     {
         self.waits.fetch_add(1, Ordering::Relaxed);
+        progress::count(Counter::Wait);
         let started = Instant::now();
         let mut last_progress = Instant::now();
         let mut backoff = Duration::from_millis(2);
         loop {
             if let Some(v) = self.cache.lookup(key) {
                 self.wait_us.fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                progress::count(Counter::RunDone);
                 return v;
             }
             match self.cache.claim_age_secs(key) {
@@ -230,9 +235,11 @@ impl Lab {
                                     started.elapsed().as_micros() as u64,
                                     Ordering::Relaxed,
                                 );
+                                progress::count(Counter::RunDone);
                                 return v;
                             }
                             self.takeovers.fetch_add(1, Ordering::Relaxed);
+                            progress::count(Counter::Takeover);
                             self.emit_takeover(key);
                             let v = run();
                             self.cache.insert(key, &v);
@@ -241,6 +248,7 @@ impl Lab {
                                 started.elapsed().as_micros() as u64,
                                 Ordering::Relaxed,
                             );
+                            progress::count(Counter::RunDone);
                             return v;
                         }
                         // Lost the takeover race: a peer claimed it.
@@ -337,6 +345,9 @@ impl Lab {
             .collect();
         let mut results: Vec<Option<PairResult>> =
             keys.iter().map(|k| self.cache.lookup(k)).collect();
+        for _ in results.iter().flatten() {
+            progress::count(Counter::RunDone);
+        }
         let missing: Vec<usize> = (0..policies.len()).filter(|&i| results[i].is_none()).collect();
         let (owned, awaited): (Vec<usize>, Vec<usize>) =
             missing.into_iter().partition(|&i| self.owns(&keys[i]));
@@ -347,6 +358,7 @@ impl Lab {
             for (&i, res) in owned.iter().zip(fresh) {
                 self.cache.insert(&keys[i], &res);
                 results[i] = Some(res);
+                progress::count(Counter::RunDone);
             }
             drop(claims); // release strictly after every entry is visible
         }

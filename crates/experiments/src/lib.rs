@@ -51,6 +51,7 @@ pub mod ext_qos;
 pub mod ext_trio;
 pub mod ext_ucp;
 pub mod fig9;
+pub mod fleet;
 pub mod headline;
 pub mod lab;
 pub mod report;
@@ -58,6 +59,7 @@ pub mod runcache;
 pub mod ext_thresholds;
 pub mod table1;
 pub mod table2;
+pub mod trend;
 pub mod util;
 pub mod viz;
 

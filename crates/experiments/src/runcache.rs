@@ -37,6 +37,7 @@ use std::sync::Mutex;
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 use waypart_core::runner::RunnerConfig;
+use waypart_telemetry::progress::{self, Counter, Phase};
 
 /// Version of the *engine semantics* the cached results were produced
 /// under. Bump whenever simulation output changes for the same
@@ -211,12 +212,14 @@ impl RunCache {
         if let Some(text) = self.mem.lock().expect("run cache").get(&key) {
             let value = json::from_str::<T>(text).expect("corrupt in-memory cache entry");
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            progress::count(Counter::MemHit);
             self.emit_lookup(key_suffix, "mem_hit");
             return Some(value);
         }
 
         if let Some(value) = self.load_disk::<T>(&key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            progress::count(Counter::DiskHit);
             self.emit_lookup(key_suffix, "disk_hit");
             return Some(value);
         }
@@ -229,6 +232,7 @@ impl RunCache {
         let key = self.full_key(key_suffix);
         self.record_seen(key_suffix);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        progress::count(Counter::Miss);
         self.emit_lookup(key_suffix, "miss");
         let text = json::to_string(value);
         self.store_disk(&key, &text);
@@ -240,11 +244,13 @@ impl RunCache {
         format!("v{SCHEMA_VERSION}|{:016x}|{key_suffix}", self.cfg_hash)
     }
 
-    /// Records a key suffix in the seen-key grid enumeration.
+    /// Records a key suffix in the seen-key grid enumeration. A *new*
+    /// key also grows the heartbeat's run-grid total.
     fn record_seen(&self, key_suffix: &str) {
         let mut seen = self.seen.lock().expect("run cache");
         if !seen.contains(key_suffix) {
             seen.insert(key_suffix.to_string());
+            progress::count(Counter::RunSeen);
         }
     }
 
@@ -280,7 +286,10 @@ impl RunCache {
     /// a miss (never an error — the entry is simply re-simulated).
     fn load_disk<T: Deserialize>(&self, key: &str) -> Option<T> {
         let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
+        let io_t0 = progress::phase_begin();
+        let text = std::fs::read_to_string(path).ok();
+        progress::phase_add(Phase::RuncacheIo, io_t0);
+        let text = text?;
         self.bytes_read.fetch_add(text.len() as u64, Ordering::Relaxed);
         let loaded = self.parse_entry::<T>(key, &text);
         if loaded.is_none() {
@@ -333,6 +342,7 @@ impl RunCache {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let text = json::to_string(&envelope);
         let len = text.len() as u64;
+        let io_t0 = progress::phase_begin();
         match std::fs::write(&tmp, text) {
             Err(e) => self.count_write_error("write", &e),
             Ok(()) => match std::fs::rename(&tmp, &path) {
@@ -345,6 +355,7 @@ impl RunCache {
                 }
             },
         }
+        progress::phase_add(Phase::RuncacheIo, io_t0);
     }
 
     /// Counts one failed disk store and emits a `cache.write_error`
@@ -392,7 +403,10 @@ impl RunCache {
             return Some(ClaimGuard { path: None });
         }
         match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
-            Ok(_) => Some(ClaimGuard { path: Some(path) }),
+            Ok(_) => {
+                progress::claim_acquired();
+                Some(ClaimGuard { path: Some(path) })
+            }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => None,
             // Any other failure: no cross-process arbitration available;
             // run it ourselves (duplicated work beats a deadlock).
@@ -445,6 +459,7 @@ impl Drop for ClaimGuard {
     fn drop(&mut self) {
         if let Some(path) = self.path.take() {
             let _ = std::fs::remove_file(path);
+            progress::claim_released();
         }
     }
 }

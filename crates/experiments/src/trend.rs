@@ -1,0 +1,332 @@
+//! Historical perf-trend analytics over `BENCH_history.jsonl`.
+//!
+//! `scripts/bench.sh` appends one JSON object per benchmarking session to
+//! `BENCH_history.jsonl` (medians, cold time, ns/access, shard metrics,
+//! plus `at`/`rev`/`host` stamps). This module parses that history and
+//! renders a self-contained HTML trend page — per-metric sparklines
+//! across sessions, segmented by host so different machines never blend
+//! into one series, annotated with `sentry --json` verdicts.
+//!
+//! Rendering is a pure function of its inputs (no clocks, no
+//! environment), so `tests/trend_golden.rs` pins the page bytes for a
+//! committed fixture history.
+
+use crate::viz::{html_escape, svg_sparkline};
+use waypart_telemetry::schema::{parse_json, validate_line, Json};
+
+/// One benchmarking session: a parsed `BENCH_history.jsonl` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// ISO timestamp stamped by bench.sh (empty if absent).
+    pub at: String,
+    /// Git revision stamped by bench.sh (empty if absent).
+    pub rev: String,
+    /// Hostname from the session's `host` object (`unknown` if absent) —
+    /// the segmentation key.
+    pub host: String,
+    /// Every numeric top-level field of the entry, in file order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Session {
+    /// The session's value for `name`, if recorded and non-null.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
+
+/// One machine-readable sentry judgement (`sentry --json` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictNote {
+    /// Metric the verdict is about.
+    pub metric: String,
+    /// `pass` | `regression` | `insufficient_history` | `skip`.
+    pub verdict: String,
+    /// Judged value (absent for `skip`).
+    pub current: Option<f64>,
+    /// History median backing the judgement.
+    pub median: Option<f64>,
+    /// Regression threshold used.
+    pub threshold: Option<f64>,
+    /// History samples behind the judgement.
+    pub n: u64,
+}
+
+/// The metrics the trend page charts, with display labels. Sessions
+/// missing a metric simply contribute no point to that series.
+pub const TREND_METRICS: [(&str, &str); 5] = [
+    ("current_cold_s", "cold reproduce (s)"),
+    ("current_median_s", "warm reproduce median (s)"),
+    ("engine_ns_per_access", "engine ns/access"),
+    ("sharded_cold_s", "sharded cold (s)"),
+    ("parallel_efficiency", "parallel efficiency"),
+];
+
+/// Parses a `BENCH_history.jsonl` document. Blank lines are skipped;
+/// malformed lines fail with their line number.
+pub fn parse_history(text: &str) -> Result<Vec<Session>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line.trim()).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let fields = match &v {
+            Json::Obj(fields) => fields,
+            _ => return Err(format!("line {}: history entry is not a JSON object", i + 1)),
+        };
+        let text_field = |key: &str| match v.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let host = match v.get("host").and_then(|h| h.get("name")) {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => "unknown".to_string(),
+        };
+        let metrics = fields
+            .iter()
+            .filter_map(|(k, fv)| match fv {
+                Json::Num { value, .. } if value.is_finite() => Some((k.clone(), *value)),
+                _ => None,
+            })
+            .collect();
+        out.push(Session { at: text_field("at"), rev: text_field("rev"), host, metrics });
+    }
+    Ok(out)
+}
+
+/// Parses a `sentry --json` verdict document (JSONL, schema-validated).
+pub fn parse_verdicts(text: &str) -> Result<Vec<VerdictNote>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_line(line.trim()).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let v = parse_json(line.trim()).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("record") != Some(&Json::Str("verdict".into())) {
+            return Err(format!("line {}: not a verdict record", i + 1));
+        }
+        let s = |key: &str| match v.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let opt = |key: &str| match v.get(key) {
+            Some(Json::Num { value, .. }) => Some(*value),
+            _ => None,
+        };
+        out.push(VerdictNote {
+            metric: s("metric"),
+            verdict: s("verdict"),
+            current: opt("current"),
+            median: opt("median"),
+            threshold: opt("threshold"),
+            n: match v.get("n") {
+                Some(Json::Num { value, .. }) => *value as u64,
+                _ => 0,
+            },
+        });
+    }
+    Ok(out)
+}
+
+const STYLE: &str = "body{font-family:ui-monospace,monospace;background:#0f1115;\
+color:#d7dae0;margin:2rem}h1{font-size:1.2rem}h2{font-size:1rem;margin:0 0 .4rem}\
+div.panel{background:#171a21;border:1px solid #262b36;border-radius:8px;\
+padding:1rem;margin:0 0 1rem;display:inline-block;vertical-align:top;\
+margin-right:1rem;min-width:300px}table{border-collapse:collapse;font-size:.8rem;\
+margin-top:.5rem}td,th{padding:.15rem .6rem;border-bottom:1px solid #262b36;\
+text-align:right}th{color:#8b93a3}td:first-child,th:first-child{text-align:left}\
+span.pass{color:#4ade80}span.regression{color:#f87171}span.muted{color:#8b93a3}\
+svg polyline{fill:none;stroke:#2563eb;stroke-width:1.5}";
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn verdict_badge(note: Option<&VerdictNote>) -> String {
+    match note {
+        Some(n) => {
+            let class = match n.verdict.as_str() {
+                "pass" => "pass",
+                "regression" => "regression",
+                _ => "muted",
+            };
+            let detail = match (n.median, n.threshold) {
+                (Some(m), Some(t)) => format!(
+                    " (median {}, threshold {}, n={})",
+                    fmt_value(m),
+                    fmt_value(t),
+                    n.n
+                ),
+                _ => format!(" (n={})", n.n),
+            };
+            format!(
+                "<span class=\"{class}\">{}</span><span class=\"muted\">{}</span>",
+                html_escape(&n.verdict.to_uppercase()),
+                html_escape(&detail)
+            )
+        }
+        None => "<span class=\"muted\">no verdict</span>".to_string(),
+    }
+}
+
+/// Renders the trend page. Deterministic: the output depends only on the
+/// parsed sessions and verdicts.
+pub fn render_trend_html(sessions: &[Session], verdicts: &[VerdictNote]) -> String {
+    let mut hosts: Vec<String> = sessions.iter().map(|s| s.host.clone()).collect();
+    hosts.sort();
+    hosts.dedup();
+
+    let mut panels = String::new();
+    let mut points_total = 0usize;
+    for (key, label) in TREND_METRICS {
+        let note = verdicts.iter().find(|v| v.metric == key);
+        for host in &hosts {
+            let series: Vec<(&Session, f64)> = sessions
+                .iter()
+                .filter(|s| &s.host == host)
+                .filter_map(|s| s.metric(key).map(|v| (s, v)))
+                .collect();
+            if series.is_empty() {
+                continue;
+            }
+            points_total += series.len();
+            let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+            let latest = *values.last().expect("non-empty series");
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let host_note = if hosts.len() > 1 {
+                format!(" — {}", html_escape(host))
+            } else {
+                String::new()
+            };
+            let mut rows = String::new();
+            for (s, v) in series.iter().rev().take(10) {
+                rows.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    html_escape(if s.at.is_empty() { "?" } else { &s.at }),
+                    html_escape(if s.rev.is_empty() { "?" } else { &s.rev }),
+                    fmt_value(*v)
+                ));
+            }
+            panels.push_str(&format!(
+                "<div class=\"panel\" data-cells=\"{cells}\">\
+                 <h2>{label}{host_note}</h2>\
+                 {spark}\
+                 <p>latest {latest} · min {lo} · max {hi} · {n} session(s) · {badge}</p>\
+                 <table><thead><tr><th>at</th><th>rev</th><th>value</th></tr></thead>\
+                 <tbody>{rows}</tbody></table></div>\n",
+                cells = series.len(),
+                label = html_escape(label),
+                spark = svg_sparkline(&values, 280, 48),
+                latest = fmt_value(latest),
+                lo = fmt_value(lo),
+                hi = fmt_value(hi),
+                n = series.len(),
+                badge = verdict_badge(note),
+            ));
+        }
+    }
+    if points_total == 0 {
+        panels.push_str(
+            "<div class=\"panel\" data-cells=\"0\"><h2>no trend data</h2>\
+             <p><span class=\"muted\">history has no charted metrics yet</span></p></div>\n",
+        );
+    }
+
+    let host_list =
+        hosts.iter().map(|h| html_escape(h)).collect::<Vec<_>>().join(", ");
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>waypart perf trends</title><style>{STYLE}</style></head>\n\
+         <body data-kind=\"trend\">\n\
+         <h1>waypart perf trends</h1>\
+         <p><span class=\"muted\">{sessions_n} session(s) · host(s): {host_list} · \
+         {verdicts_n} sentry verdict(s)</span></p>\n\
+         {panels}\
+         </body></html>\n",
+        sessions_n = sessions.len(),
+        verdicts_n = verdicts.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HISTORY: &str = concat!(
+        "{\"current_median_s\":3.7,\"current_cold_s\":700.0,\"engine_ns_per_access\":101.0,",
+        "\"at\":\"2026-08-01T00:00:00Z\",\"rev\":\"aaaa111\",",
+        "\"host\":{\"name\":\"boxa\",\"cpu\":\"TestCPU\",\"cores\":8,\"kernel\":\"6.1\"}}\n",
+        "{\"current_median_s\":3.6,\"current_cold_s\":690.0,\"engine_ns_per_access\":99.0,",
+        "\"sharded_cold_s\":800.0,\"parallel_efficiency\":0.9,",
+        "\"at\":\"2026-08-02T00:00:00Z\",\"rev\":\"bbbb222\",",
+        "\"host\":{\"name\":\"boxa\",\"cpu\":\"TestCPU\",\"cores\":8,\"kernel\":\"6.1\"}}\n",
+    );
+
+    #[test]
+    fn history_parses_with_hosts_and_metrics() {
+        let sessions = parse_history(HISTORY).unwrap();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].host, "boxa");
+        assert_eq!(sessions[0].metric("current_cold_s"), Some(700.0));
+        assert_eq!(sessions[1].metric("parallel_efficiency"), Some(0.9));
+        assert_eq!(sessions[0].metric("sharded_cold_s"), None);
+    }
+
+    #[test]
+    fn hostless_sessions_fall_back_to_unknown() {
+        let sessions = parse_history("{\"current_cold_s\":1.0,\"rev\":\"x\"}").unwrap();
+        assert_eq!(sessions[0].host, "unknown");
+    }
+
+    #[test]
+    fn malformed_history_names_the_line() {
+        let err = parse_history("{\"ok\":1}\n{broken").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn verdicts_parse_and_reject_non_verdicts() {
+        let doc = "{\"record\":\"verdict\",\"metric\":\"current_cold_s\",\
+                   \"verdict\":\"pass\",\"current\":1.0,\"median\":1.0,\
+                   \"threshold\":1.2,\"n\":4}";
+        let notes = parse_verdicts(doc).unwrap();
+        assert_eq!(notes[0].metric, "current_cold_s");
+        assert_eq!(notes[0].n, 4);
+        assert!(parse_verdicts("{\"record\":\"hist\"}").is_err());
+    }
+
+    #[test]
+    fn page_renders_deterministically_with_annotations() {
+        let sessions = parse_history(HISTORY).unwrap();
+        let verdicts = parse_verdicts(
+            "{\"record\":\"verdict\",\"metric\":\"current_cold_s\",\"verdict\":\"pass\",\
+             \"current\":690.0,\"median\":695.0,\"threshold\":764.5,\"n\":2}",
+        )
+        .unwrap();
+        let a = render_trend_html(&sessions, &verdicts);
+        let b = render_trend_html(&sessions, &verdicts);
+        assert_eq!(a, b, "rendering must be deterministic");
+        assert!(a.contains("data-kind=\"trend\""));
+        assert!(a.contains("PASS"));
+        assert!(a.contains("boxa"));
+        assert!(a.contains("data-cells="));
+        assert!(!a.contains("http"), "trend page must be self-contained");
+    }
+
+    #[test]
+    fn empty_history_still_renders_a_page() {
+        let page = render_trend_html(&[], &[]);
+        assert!(page.contains("no trend data"));
+    }
+}

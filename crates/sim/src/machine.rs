@@ -21,6 +21,7 @@ use crate::ring::RingModel;
 use crate::stream::{AccessStream, StreamEvent};
 use crate::waymask::WayMask;
 use crate::{CoreId, Cycles, HwThreadId};
+use waypart_telemetry::progress::{self, Phase};
 
 /// Events pulled per [`AccessStream::fill`] call. Large enough to amortize
 /// the virtual dispatch and the models' per-burst setup, small enough that
@@ -414,6 +415,13 @@ impl Machine {
         let rate_before = *counters;
         let mut finished = false;
 
+        // Phase attribution (observation-only, off by default): wall time
+        // inside this function partitions into stream generation (the
+        // `fill` calls) and probe+fill (everything else). Sampled at
+        // buffer/quantum granularity — never per event — so the enabled
+        // cost is two clock reads per 256-event refill.
+        let mut drain_seg = progress::phase_begin();
+
         if self.batching {
             // Drain buffered events; refill in bulk when the buffer runs
             // dry. An event is consumed exactly when the scalar loop would
@@ -426,7 +434,14 @@ impl Machine {
                         finished = true;
                         break;
                     }
+                    progress::phase_add(Phase::ProbeFill, drain_seg);
+                    let fill_t0 = progress::phase_begin();
                     slot.len = slot.stream.fill(&mut slot.buf);
+                    progress::phase_add(Phase::StreamGen, fill_t0);
+                    if fill_t0.is_some() {
+                        progress::count_sim_accesses(slot.len as u64);
+                    }
+                    drain_seg = progress::phase_begin();
                     slot.pos = 0;
                     slot.exhausted = slot.len < slot.buf.len();
                     if slot.len == 0 {
@@ -476,6 +491,7 @@ impl Machine {
                 }
             }
         }
+        progress::phase_add(Phase::ProbeFill, drain_seg);
 
         slot.carry = (used - budget).max(0.0);
         counters.cycles += if finished { used.min(budget) as u64 } else { quantum };

@@ -41,6 +41,7 @@
 pub mod event;
 pub mod hist;
 pub mod merge;
+pub mod progress;
 pub mod schema;
 pub mod series;
 pub mod sinks;

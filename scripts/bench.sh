@@ -179,9 +179,19 @@ cat "$OUT"
 # Append this session to the benchmark history (one JSON object per line)
 # so the perf sentry can judge future runs against a real distribution:
 #   cargo run -p waypart-bench --bin sentry -- --history BENCH_history.jsonl
+# Host metadata is stamped into each entry so the trend page
+# (report --history) can segment sessions by machine instead of mixing
+# different hardware into one distribution.
 HISTORY="BENCH_history.jsonl"
+CPU_MODEL=$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
 jq -c --arg at "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       --arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-      '. + {at: $at, rev: $rev}' "$OUT" >> "$HISTORY"
+      --arg host "$(hostname 2>/dev/null || echo unknown)" \
+      --arg cpu "${CPU_MODEL:-unknown}" \
+      --argjson cores "$(nproc 2>/dev/null || echo 0)" \
+      --arg kernel "$(uname -r 2>/dev/null || echo unknown)" \
+      '. + {at: $at, rev: $rev,
+            host: {name: $host, cpu: $cpu, cores: $cores, kernel: $kernel}}' \
+      "$OUT" >> "$HISTORY"
 echo "appended to $HISTORY ($(wc -l < "$HISTORY") sessions)"
 rm -rf "$SCRATCH"

@@ -173,6 +173,70 @@ if [ -s BENCH_history.jsonl ]; then
   cargo run --release -p waypart-bench --bin sentry -- --history BENCH_history.jsonl
 fi
 
+echo "== fleet observability (heartbeats, stall detection, merge refusal, trend) =="
+# Two real shard workers over a scratch cache. While both are live the
+# status table must show per-worker progress and `--merge` must refuse;
+# a kill -9'd worker must be flagged STALLED from its heartbeat age
+# (long before the 120 s claim-takeover grace); and the machine-readable
+# paths (status --html, merged history, sentry --json, trend page) must
+# all validate.
+FLEET_CACHE="$TRACE_DIR/fleetcache"
+WAYPART_CACHE_DIR="$FLEET_CACHE" cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --shard 1/2 fig12 >/dev/null 2>&1 &
+W1=$!
+WAYPART_CACHE_DIR="$FLEET_CACHE" cargo run --release -p waypart-experiments --bin reproduce -- \
+  --scale test --shard 2/2 fig12 >/dev/null 2>&1 &
+W2=$!
+sleep 5   # first heartbeat snapshots are immediate; allow for cargo-run startup
+cargo run --release -p waypart-experiments --bin status -- \
+  --cache "$FLEET_CACHE" | tee "$TRACE_DIR/status_live.txt"
+grep -q "1-of-2" "$TRACE_DIR/status_live.txt" \
+  || { echo "FAIL: status does not list worker 1-of-2" >&2; exit 1; }
+grep -q "2-of-2" "$TRACE_DIR/status_live.txt" \
+  || { echo "FAIL: status does not list worker 2-of-2" >&2; exit 1; }
+grep -q "RUNNING" "$TRACE_DIR/status_live.txt" \
+  || { echo "FAIL: status shows no RUNNING worker during a live fleet" >&2; exit 1; }
+if WAYPART_CACHE_DIR="$FLEET_CACHE" cargo run --release -p waypart-experiments \
+    --bin reproduce -- --scale test --merge fig12 >/dev/null 2>&1; then
+  echo "FAIL: --merge did not refuse while the fleet was live" >&2; exit 1
+fi
+kill -9 "$W2" 2>/dev/null || true
+sleep 3   # let the dead worker's heartbeat age past the tightened threshold
+cargo run --release -p waypart-experiments --bin status -- \
+  --cache "$FLEET_CACHE" --stale-secs 2 --html "$TRACE_DIR/fleet.html" \
+  | tee "$TRACE_DIR/status_dead.txt"
+grep -q "STALLED" "$TRACE_DIR/status_dead.txt" \
+  || { echo "FAIL: killed worker not flagged STALLED" >&2; exit 1; }
+cargo run --release -p waypart-experiments --bin report -- --check "$TRACE_DIR/fleet.html"
+kill -9 "$W1" 2>/dev/null || true
+wait "$W1" "$W2" 2>/dev/null || true
+# A corrupt heartbeat must be a loud, nonzero, path-naming error.
+printf '{"record":"status","worker"' > "$FLEET_CACHE/spool/1-of-2/status.json"
+if cargo run --release -p waypart-experiments --bin status -- \
+    --cache "$FLEET_CACHE" >/dev/null 2>"$TRACE_DIR/status_err.txt"; then
+  echo "FAIL: status accepted a malformed heartbeat" >&2; exit 1
+fi
+grep -q "status.json" "$TRACE_DIR/status_err.txt" \
+  || { echo "FAIL: malformed-heartbeat error does not name the file" >&2; exit 1; }
+# The completed --jobs 2 fleet from the sharded stage: merged history
+# must exist (per-shard sessions + coordinator entry) and feed both the
+# sentry and the trend page.
+[ -s "$TRACE_DIR/shardcache/spool/merged_history.jsonl" ] \
+  || { echo "FAIL: sharded run left no merged history" >&2; exit 1; }
+grep -q "sharded_cold_s" "$TRACE_DIR/shardcache/spool/merged_history.jsonl" \
+  || { echo "FAIL: merged history lacks the coordinator entry" >&2; exit 1; }
+# sentry --json round-trip: verdict records validate and annotate the
+# trend page rendered from the committed benchmark history.
+cargo run --release -p waypart-bench --bin sentry -- \
+  --history "$SENTRY_HIST" --current "$TRACE_DIR/jitter.json" \
+  --json "$TRACE_DIR/verdicts.jsonl" >/dev/null
+cargo run --release -p waypart-telemetry --bin validate_trace -- "$TRACE_DIR/verdicts.jsonl"
+cargo run --release -p waypart-experiments --bin report -- \
+  --history BENCH_history.jsonl --verdicts "$TRACE_DIR/verdicts.jsonl" \
+  --out "$TRACE_DIR/trend.html"
+cargo run --release -p waypart-experiments --bin report -- --check "$TRACE_DIR/trend.html"
+echo "fleet observability OK (live scan, merge refusal, stall flag, trend page)"
+
 echo "== bench smoke (engine throughput, 2 iterations) =="
 cargo build --release --example profile_engine
 target/release/examples/profile_engine sololoop 2

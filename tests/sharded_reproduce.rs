@@ -18,7 +18,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 use waypart_core::runner::RunnerConfig;
 use waypart_core::sweep::ShardSpec;
+use waypart_experiments::fleet::{self, WorkerState};
 use waypart_experiments::{fig12, Lab};
+use waypart_telemetry::progress;
 
 fn tmp_dir(label: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("waypart-shardtest-{label}-{}", std::process::id()));
@@ -88,6 +90,58 @@ fn two_shard_fig12_is_byte_identical_and_warm_replay_simulates_nothing() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_worker_is_flagged_stalled_before_the_takeover_grace() {
+    let spool = tmp_dir("stall-spool");
+
+    // Worker 1 is live: a real heartbeat writing fresh snapshots.
+    let hb = progress::start_heartbeat(&spool.join("1-of-2"), "1-of-2", Duration::from_millis(50))
+        .expect("start heartbeat");
+
+    // Worker 2 was kill -9'd 40 s ago: its last snapshot says `done:
+    // false` and nothing has refreshed the stamp since. (A clean exit
+    // would have written a final `done: true` snapshot via Drop.)
+    let dead_dir = spool.join("2-of-2");
+    std::fs::create_dir_all(&dead_dir).unwrap();
+    let aged = progress::unix_now_ms() - 40_000;
+    let line = format!(
+        "{{\"record\":\"status\",\"worker\":\"2-of-2\",\"phase\":\"fig12\",\
+         \"runs_done\":5,\"runs_total\":20,\"mem_hits\":2,\"disk_hits\":1,\"misses\":2,\
+         \"waits\":0,\"takeovers\":0,\"claims_held\":1,\"ns_per_access\":null,\
+         \"done\":false,\"at_unix_ms\":{aged}}}"
+    );
+    std::fs::write(dead_dir.join("status.json"), line).unwrap();
+
+    let fleet = fleet::scan_fleet(&spool).expect("scan fleet");
+    assert_eq!(fleet.len(), 2);
+    let now = progress::unix_now_ms();
+    assert_eq!(
+        fleet[0].state(now, fleet::DEFAULT_STALE_SECS),
+        WorkerState::Running,
+        "live worker must scan as RUNNING"
+    );
+    assert_eq!(
+        fleet[1].state(now, fleet::DEFAULT_STALE_SECS),
+        WorkerState::Stalled,
+        "a killed worker's aging heartbeat must scan as STALLED"
+    );
+    // The stall flag must fire well before a peer may take over the dead
+    // worker's claims (Lab's default wait grace is 120 s): an operator
+    // watching `status` sees the death first.
+    assert!(fleet::DEFAULT_STALE_SECS < 120.0);
+    // One live worker is exactly the quantity `--merge` refuses on.
+    assert_eq!(fleet::live_workers(&fleet, now, fleet::DEFAULT_STALE_SECS), 1);
+
+    // And once the live worker finishes cleanly, nothing is live: the
+    // final snapshot flips `done` and the merge may proceed.
+    hb.finish();
+    let fleet = fleet::scan_fleet(&spool).expect("rescan fleet");
+    let now = progress::unix_now_ms();
+    assert_eq!(fleet[0].state(now, fleet::DEFAULT_STALE_SECS), WorkerState::Done);
+    assert_eq!(fleet::live_workers(&fleet, now, fleet::DEFAULT_STALE_SECS), 0);
+    let _ = std::fs::remove_dir_all(&spool);
 }
 
 proptest! {

@@ -1,0 +1,63 @@
+//! The trend page is a pure function of its inputs — goldenable.
+//!
+//! `report --history` must render the same bytes for the same history on
+//! every machine: no timestamps, no randomness, no environment reads.
+//! This test renders the committed fixture history + verdicts and
+//! compares against the committed golden HTML byte-for-byte. Regenerate
+//! after an intentional layout change with:
+//!
+//! ```text
+//! WAYPART_UPDATE_GOLDEN=1 cargo test --test trend_golden
+//! ```
+
+use waypart_experiments::trend;
+
+const HISTORY: &str = include_str!("fixtures/trend_history.jsonl");
+const VERDICTS: &str = include_str!("fixtures/trend_verdicts.jsonl");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/trend_golden.html");
+
+fn render_fixture() -> String {
+    let sessions = trend::parse_history(HISTORY).expect("fixture history parses");
+    let verdicts = trend::parse_verdicts(VERDICTS).expect("fixture verdicts parse");
+    trend::render_trend_html(&sessions, &verdicts)
+}
+
+#[test]
+fn trend_page_matches_committed_golden() {
+    let html = render_fixture();
+    if std::env::var_os("WAYPART_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &html).expect("update trend golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/fixtures/trend_golden.html — regenerate with WAYPART_UPDATE_GOLDEN=1",
+    );
+    assert_eq!(
+        html, golden,
+        "trend page drifted from the committed golden; if the change is intentional, \
+         regenerate with WAYPART_UPDATE_GOLDEN=1 cargo test --test trend_golden"
+    );
+}
+
+#[test]
+fn trend_page_is_self_contained_and_annotated() {
+    let html = render_fixture();
+    // Same rules `report --check` enforces: no external references or
+    // scripts, and real data cells rendered.
+    for banned in ["http://", "https://", "<script", "<link", "@import"] {
+        assert!(!html.contains(banned), "trend page contains `{banned}`");
+    }
+    let cells: u64 = html
+        .match_indices("data-cells=\"")
+        .filter_map(|(i, pat)| {
+            html[i + pat.len()..].split('"').next().and_then(|n| n.parse::<u64>().ok())
+        })
+        .sum();
+    assert!(cells > 0, "trend page rendered no data cells");
+    // Both hosts segment into their own panels, and the sentry verdicts
+    // annotate the page.
+    assert!(html.contains("boxa") && html.contains("boxb"), "host segmentation missing");
+    assert!(html.contains("PASS"), "pass badge missing");
+    assert!(html.contains("REGRESSION"), "regression badge missing");
+    assert!(html.contains("data-kind=\"trend\""), "trend page marker missing");
+}
